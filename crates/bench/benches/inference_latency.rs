@@ -1,0 +1,41 @@
+//! Criterion bench behind Fig. 6a: amortized per-record inference latency
+//! of the three latency-comparable models (fastText, Graphite, GraphEx).
+//!
+//! Runs on the CAT_3-sized preset so `cargo bench` stays in CI budget; the
+//! full-scale numbers come from `--bin fig6`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphex_baselines::fasttext::FastTextConfig;
+use graphex_baselines::{FastTextLike, GraphExRecommender, Graphite, ItemRef, Recommender};
+use graphex_bench::experiments::{build_graphex, default_threshold};
+use graphex_marketsim::{CategoryDataset, CategorySpec};
+
+fn bench_inference(c: &mut Criterion) {
+    let ds = CategoryDataset::generate(CategorySpec::cat3());
+    let graphex: Box<dyn Recommender> =
+        Box::new(GraphExRecommender::new(build_graphex(&ds, default_threshold(&ds))));
+    let graphite: Box<dyn Recommender> = Box::new(Graphite::train(&ds, 512));
+    let fasttext: Box<dyn Recommender> = Box::new(FastTextLike::train(
+        &ds,
+        FastTextConfig { epochs: 3, ..Default::default() }, // latency, not quality
+    ));
+
+    let items = ds.test_items(64, 7);
+    let mut group = c.benchmark_group("inference_latency_cat3");
+    for model in [&graphex, &graphite, &fasttext] {
+        group.bench_function(BenchmarkId::from_parameter(model.name()), |b| {
+            let mut idx = 0usize;
+            b.iter(|| {
+                let item = items[idx % items.len()];
+                idx += 1;
+                std::hint::black_box(
+                    model.recommend(&ItemRef::known(item.id, &item.title, item.leaf), 20),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

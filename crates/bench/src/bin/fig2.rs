@@ -1,0 +1,34 @@
+//! Regenerates Figure 2 (click-data distribution) on the largest category.
+//! Only the dataset is needed, so this binary skips model training.
+
+use graphex_bench::Scale;
+use graphex_marketsim::CategoryDataset;
+
+fn main() {
+    let spec = Scale::from_env().specs().remove(0);
+    let name = spec.name.clone();
+    let ds = CategoryDataset::generate(spec);
+    let stats = ds.train_log.click_stats();
+    println!("Figure 2 — click-data distribution ({name})\n");
+    println!(
+        "items total: {}   items with clicks: {} ({:.1}% coverage; paper: ~4%)",
+        stats.num_items,
+        stats.items_with_clicks,
+        stats.coverage * 100.0
+    );
+    println!(
+        "clicked items with exactly 1 query: {:.1}% (paper: ~90%)\n",
+        stats.single_query_share * 100.0
+    );
+    println!("{:>18}  {:>8}", "# queries/item", "# items");
+    let hist = &stats.queries_per_item_histogram;
+    let mut six_plus = 0u32;
+    for (k, &count) in hist.iter().enumerate().skip(1) {
+        if k <= 5 {
+            println!("{k:>18}  {count:>8}");
+        } else {
+            six_plus += count;
+        }
+    }
+    println!("{:>18}  {six_plus:>8}", "6+");
+}

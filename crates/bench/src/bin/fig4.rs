@@ -1,0 +1,8 @@
+//! Regenerates Figure 4 (avg relevant head/tail & irrelevant per model).
+
+use graphex_bench::{experiments, Scale};
+
+fn main() {
+    let studies = experiments::run_studies(Scale::from_env());
+    println!("{}", experiments::render::fig4(&studies));
+}

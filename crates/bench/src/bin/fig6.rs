@@ -1,0 +1,9 @@
+//! Regenerates Figure 6a (inference latency), Figure 6b (model sizes) and
+//! the Sec. IV-G training-time comparison.
+
+use graphex_bench::{experiments, Scale};
+
+fn main() {
+    let studies = experiments::run_studies(Scale::from_env());
+    println!("{}", experiments::render::fig6(&studies));
+}

@@ -1,0 +1,41 @@
+//! Regenerates every table and figure of the paper in one run, sharing the
+//! datasets, trained models and judged evaluation across experiments.
+//!
+//! ```bash
+//! cargo run --release -p graphex-bench --bin repro_all            # full scale
+//! GRAPHEX_SCALE=quick cargo run --release -p graphex-bench --bin repro_all
+//! ```
+
+use graphex_bench::experiments::{render, run_studies};
+use graphex_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[repro_all] scale: {scale:?}");
+    let studies = run_studies(scale);
+
+    let mut sections: Vec<String> = Vec::new();
+    sections.push(render::table1());
+    sections.push(render::table2(&studies));
+    sections.push(render::fig2(&studies[0]));
+    sections.push(render::fig4(&studies));
+    sections.push(render::table3(&studies));
+    sections.push(render::table4(&studies));
+    sections.push(render::fig5(&studies[0]));
+    sections.push(render::table5(&studies));
+    sections.push(render::table6(&studies));
+    sections.push(render::table7(&studies[0]));
+    sections.push(render::fig6(&studies));
+    sections.push(render::serving_demo(&studies[0]));
+
+    let mut out = String::new();
+    for section in sections {
+        out.push_str(&section);
+        out.push_str("\n================================================================\n\n");
+    }
+    // Single locked write: the output is the artifact.
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    lock.write_all(out.as_bytes()).expect("stdout write");
+}

@@ -1,0 +1,11 @@
+//! Sec. IV-H serving-architecture demo: batch throughput + NRT consistency.
+
+use graphex_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = scale.specs().remove(0);
+    let test_n = scale.test_set_sizes()[0];
+    let study = experiments::run_study(spec, test_n);
+    println!("{}", experiments::render::serving_demo(&study));
+}

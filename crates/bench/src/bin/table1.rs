@@ -1,0 +1,5 @@
+//! Regenerates Table I (framework capability matrix). Static — no dataset.
+
+fn main() {
+    println!("{}", graphex_bench::experiments::render::table1());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table II (dataset details per meta category).
+
+use graphex_bench::{experiments, Scale};
+
+fn main() {
+    let studies = experiments::run_studies(Scale::from_env());
+    println!("{}", experiments::render::table2(&studies));
+}

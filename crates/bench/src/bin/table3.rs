@@ -1,0 +1,8 @@
+//! Regenerates Table III (RP / HP / RRR / RHR for all six models).
+
+use graphex_bench::{experiments, Scale};
+
+fn main() {
+    let studies = experiments::run_studies(Scale::from_env());
+    println!("{}", experiments::render::table3(&studies));
+}

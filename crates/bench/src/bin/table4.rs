@@ -1,0 +1,12 @@
+//! Regenerates Table IV (exclusive relevant-head diversity vs GraphEx) and
+//! the Figure 5 overlap counts it is derived from.
+
+use graphex_bench::{experiments, Scale};
+
+fn main() {
+    let studies = experiments::run_studies(Scale::from_env());
+    println!("{}", experiments::render::table4(&studies));
+    for study in &studies {
+        println!("{}", experiments::render::fig5(study));
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table V (relative precision/recall; RE as ground truth).
+
+use graphex_bench::{experiments, Scale};
+
+fn main() {
+    let studies = experiments::run_studies(Scale::from_env());
+    println!("{}", experiments::render::table5(&studies));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table VI (alignment-function ablation: WMR vs JAC vs LTA).
+
+use graphex_bench::{experiments, Scale};
+
+fn main() {
+    let studies = experiments::run_studies(Scale::from_env());
+    println!("{}", experiments::render::table6(&studies));
+}

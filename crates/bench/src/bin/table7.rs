@@ -1,0 +1,12 @@
+//! Regenerates Table VII (curation search-count threshold ablation) on the
+//! largest category.
+
+use graphex_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = scale.specs().remove(0);
+    let test_n = scale.test_set_sizes()[0];
+    let study = experiments::run_study(spec, test_n);
+    println!("{}", experiments::render::table7(&study));
+}

@@ -1,0 +1,44 @@
+//! `graphex build` — construct a model from a record TSV and persist it.
+
+use crate::args::ParsedArgs;
+use crate::records::read_tsv;
+use graphex_core::{serialize, Alignment, GraphExBuilder, GraphExConfig};
+
+pub fn run(args: &ParsedArgs) -> Result<String, String> {
+    let input = args.require("input")?;
+    let output = args.require("output")?;
+
+    let mut config = GraphExConfig::default();
+    config.curation.min_search_count = args.get_num::<u32>("min-search", 180)?;
+    config.stemming = !args.switch("no-stemming");
+    config.build_meta_fallback = !args.switch("no-fallback");
+    config.alignment = match args.get("alignment").unwrap_or("lta") {
+        "lta" | "LTA" => Alignment::Lta,
+        "wmr" | "WMR" => Alignment::Wmr,
+        "jac" | "JAC" => Alignment::Jac,
+        other => return Err(format!("unknown alignment {other:?} (lta|wmr|jac)")),
+    };
+
+    let records = read_tsv(input)?;
+    let input_count = records.len();
+    let start = std::time::Instant::now();
+    let (model, stats) = GraphExBuilder::new(config)
+        .add_records(records)
+        .build_with_stats()
+        .map_err(|e| format!("build: {e}"))?;
+    let elapsed = start.elapsed();
+    serialize::save_to(&model, output).map_err(|e| format!("save {output}: {e}"))?;
+
+    let mstats = model.stats();
+    Ok(format!(
+        "built in {elapsed:?}: {input_count} input records → {} curated ({} below threshold) → \
+         {} keyphrases / {} tokens / {} edges across {} leaves\nsaved {} bytes to {output}\n",
+        stats.kept,
+        stats.dropped_low_search,
+        mstats.num_keyphrases,
+        mstats.num_tokens,
+        mstats.total_edges,
+        mstats.num_leaves,
+        model.size_bytes(),
+    ))
+}

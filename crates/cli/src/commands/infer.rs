@@ -1,0 +1,64 @@
+//! `graphex infer` — recommend keyphrases for one title (`--title`) or a
+//! stream of titles (`--stdin`, one per line). Output is TSV:
+//! `rank<TAB>keyphrase<TAB>score<TAB>search<TAB>recall` (with a leading
+//! title column in stream mode).
+
+use super::{load_model, parse_leaf};
+use crate::args::ParsedArgs;
+use graphex_core::{GraphExModel, InferenceParams, LeafId, Scratch};
+use std::fmt::Write as _;
+use std::io::BufRead;
+
+pub fn run(args: &ParsedArgs) -> Result<String, String> {
+    let model = load_model(args)?;
+    let leaf = parse_leaf(args)?;
+    let k = args.get_num::<usize>("k", 20)?;
+    let params = InferenceParams::with_k(k);
+    let mut scratch = Scratch::new();
+
+    if args.switch("stdin") {
+        let stdin = std::io::stdin();
+        let mut out = String::new();
+        for line in stdin.lock().lines() {
+            let title = line.map_err(|e| format!("stdin: {e}"))?;
+            if title.trim().is_empty() {
+                continue;
+            }
+            render_predictions(&model, &title, leaf, &params, &mut scratch, true, &mut out)?;
+        }
+        Ok(out)
+    } else {
+        let title = args.require("title")?;
+        let mut out = String::new();
+        render_predictions(&model, title, leaf, &params, &mut scratch, false, &mut out)?;
+        Ok(out)
+    }
+}
+
+fn render_predictions(
+    model: &GraphExModel,
+    title: &str,
+    leaf: LeafId,
+    params: &InferenceParams,
+    scratch: &mut Scratch,
+    include_title: bool,
+    out: &mut String,
+) -> Result<(), String> {
+    let preds = model.infer(title, leaf, params, scratch).map_err(|e| e.to_string())?;
+    let alignment = model.alignment();
+    for (rank, p) in preds.iter().enumerate() {
+        if include_title {
+            let _ = write!(out, "{title}\t");
+        }
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{:.4}\t{}\t{}",
+            rank + 1,
+            model.keyphrase_text(p.keyphrase).unwrap_or_default(),
+            p.score(alignment),
+            p.search_count,
+            p.recall_count,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! CLI subcommands. Each `run` takes parsed args and returns the stdout
+//! payload, so tests exercise commands as plain functions.
+
+pub mod build;
+pub mod diff;
+pub mod explain;
+pub mod infer;
+pub mod simulate;
+pub mod stats;
+
+use crate::args::ParsedArgs;
+use graphex_core::{GraphExModel, LeafId};
+
+/// Loads a model from `--model`.
+pub(crate) fn load_model(args: &ParsedArgs) -> Result<GraphExModel, String> {
+    let path = args.require("model")?;
+    graphex_core::serialize::load_from(path).map_err(|e| format!("load {path}: {e}"))
+}
+
+/// Parses `--leaf`.
+pub(crate) fn parse_leaf(args: &ParsedArgs) -> Result<LeafId, String> {
+    Ok(LeafId(args.get_num::<u32>("leaf", 0).and_then(|v| {
+        if args.get("leaf").is_none() {
+            Err("missing --leaf".to_string())
+        } else {
+            Ok(v)
+        }
+    })?))
+}

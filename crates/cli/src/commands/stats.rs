@@ -1,0 +1,51 @@
+//! `graphex stats` — model inventory: global stats plus a per-leaf table.
+
+use super::load_model;
+use crate::args::ParsedArgs;
+use std::fmt::Write as _;
+
+pub fn run(args: &ParsedArgs) -> Result<String, String> {
+    let model = load_model(args)?;
+    let stats = model.stats();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "alignment: {}  stemming: {}  fallback: {}",
+        model.alignment(),
+        model.stemming(),
+        model.has_fallback()
+    );
+    let _ = writeln!(
+        out,
+        "leaves: {}  keyphrases: {}  tokens: {}  labels: {}  edges: {}  avg degree: {:.2}",
+        stats.num_leaves,
+        stats.num_keyphrases,
+        stats.num_tokens,
+        stats.total_labels,
+        stats.total_edges,
+        stats.avg_degree,
+    );
+    let _ = writeln!(
+        out,
+        "heap: {} bytes  serialized: {} bytes",
+        stats.heap_bytes,
+        model.size_bytes()
+    );
+
+    let mut leaves: Vec<_> = model.leaf_ids().collect();
+    leaves.sort_unstable();
+    let _ = writeln!(out, "\n{:>10} {:>8} {:>8} {:>8} {:>10}", "leaf", "words", "labels", "edges", "avg deg");
+    for leaf in leaves {
+        let g = model.leaf_graph(leaf).expect("listed leaf");
+        let _ = writeln!(
+            out,
+            "{:>10} {:>8} {:>8} {:>8} {:>10.2}",
+            leaf.0,
+            g.num_words(),
+            g.num_labels(),
+            g.num_edges(),
+            g.avg_degree(),
+        );
+    }
+    Ok(out)
+}

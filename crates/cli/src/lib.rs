@@ -1,0 +1,122 @@
+//! Library backing the `graphex` binary. Every command is a pure function
+//! from parsed arguments to an output string, so the whole surface is unit-
+//! and integration-testable without spawning processes.
+
+pub mod args;
+pub mod commands;
+pub mod records;
+
+use args::ParsedArgs;
+
+/// Top-level usage text.
+pub fn usage() -> &'static str {
+    "usage:
+  graphex simulate --preset <cat1|cat2|cat3|tiny> --output <records.tsv> [--seed N]
+  graphex build    --input <records.tsv> --output <model.gexm>
+                   [--min-search N] [--alignment <lta|wmr|jac>]
+                   [--no-stemming] [--no-fallback]
+  graphex infer    --model <model.gexm> --leaf <id> (--title <text> | --stdin) [--k N]
+  graphex explain  --model <model.gexm> --leaf <id> --title <text> [--k N]
+  graphex stats    --model <model.gexm>
+  graphex diff     --old <a.gexm> --new <b.gexm> [--max-listed N]
+
+record TSV line: text<TAB>leaf_id<TAB>search_count<TAB>recall_count"
+}
+
+/// Parses and runs a command line (without the binary name).
+pub fn dispatch(argv: &[String]) -> Result<String, String> {
+    let (command, rest) = argv.split_first().ok_or_else(|| "missing command".to_string())?;
+    let parsed = ParsedArgs::parse(rest)?;
+    match command.as_str() {
+        "simulate" => commands::simulate::run(&parsed),
+        "build" => commands::build::run(&parsed),
+        "infer" => commands::infer::run(&parsed),
+        "explain" => commands::explain::run(&parsed),
+        "stats" => commands::stats::run(&parsed),
+        "diff" => commands::diff::run(&parsed),
+        "help" | "--help" | "-h" => Ok(format!("{}\n", usage())),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(dispatch(&argv(&["frobnicate"])).is_err());
+        assert!(dispatch(&argv(&[])).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = dispatch(&argv(&["help"])).unwrap();
+        assert!(out.contains("graphex build"));
+    }
+
+    #[test]
+    fn full_cli_roundtrip_in_tempdir() {
+        let dir = std::env::temp_dir().join(format!("graphex-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let records = dir.join("records.tsv");
+        let model = dir.join("model.gexm");
+
+        // simulate → build → stats → infer → explain
+        let out = dispatch(&argv(&[
+            "simulate", "--preset", "tiny", "--seed", "9", "--output",
+            records.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("records"));
+
+        let out = dispatch(&argv(&[
+            "build", "--input", records.to_str().unwrap(), "--output", model.to_str().unwrap(),
+            "--min-search", "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("keyphrases"), "{out}");
+
+        let stats = dispatch(&argv(&["stats", "--model", model.to_str().unwrap()])).unwrap();
+        assert!(stats.contains("leaves"));
+
+        // Find a leaf + phrase to test inference with, straight from the TSV.
+        let tsv = std::fs::read_to_string(&records).unwrap();
+        let first = tsv.lines().next().unwrap();
+        let mut cols = first.split('\t');
+        let text = cols.next().unwrap().to_string();
+        let leaf = cols.next().unwrap().to_string();
+
+        let inferred = dispatch(&argv(&[
+            "infer", "--model", model.to_str().unwrap(), "--leaf", &leaf, "--title", &text, "--k",
+            "5",
+        ]))
+        .unwrap();
+        assert!(!inferred.trim().is_empty(), "no predictions for {text:?}");
+
+        let explained = dispatch(&argv(&[
+            "explain", "--model", model.to_str().unwrap(), "--leaf", &leaf, "--title", &text,
+        ]))
+        .unwrap();
+        assert!(explained.contains("tokens"), "{explained}");
+
+        // diff against a stricter rebuild of the same records
+        let model2 = dir.join("model2.gexm");
+        dispatch(&argv(&[
+            "build", "--input", records.to_str().unwrap(), "--output", model2.to_str().unwrap(),
+            "--min-search", "6",
+        ]))
+        .unwrap();
+        let diffed = dispatch(&argv(&[
+            "diff", "--old", model.to_str().unwrap(), "--new", model2.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(diffed.contains("removed"), "{diffed}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

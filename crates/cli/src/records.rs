@@ -1,0 +1,114 @@
+//! Record TSV I/O: `text<TAB>leaf_id<TAB>search_count<TAB>recall_count`.
+
+use graphex_core::{KeyphraseRecord, LeafId};
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Reads keyphrase records from a TSV file. Empty lines and `#` comments
+/// are skipped; malformed lines fail with their line number.
+pub fn read_tsv(path: impl AsRef<Path>) -> Result<Vec<KeyphraseRecord>, String> {
+    let file = std::fs::File::open(&path)
+        .map_err(|e| format!("open {}: {e}", path.as_ref().display()))?;
+    let reader = std::io::BufReader::new(file);
+    let mut records = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("read error at line {}: {e}", lineno + 1))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        records.push(parse_line(trimmed).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(records)
+}
+
+/// Parses one TSV line.
+pub fn parse_line(line: &str) -> Result<KeyphraseRecord, String> {
+    let mut cols = line.split('\t');
+    let text = cols.next().filter(|t| !t.is_empty()).ok_or("empty keyphrase text")?;
+    let leaf: u32 = cols
+        .next()
+        .ok_or("missing leaf id")?
+        .parse()
+        .map_err(|_| "leaf id is not a number".to_string())?;
+    let search: u32 = cols
+        .next()
+        .ok_or("missing search count")?
+        .parse()
+        .map_err(|_| "search count is not a number".to_string())?;
+    let recall: u32 = cols
+        .next()
+        .ok_or("missing recall count")?
+        .parse()
+        .map_err(|_| "recall count is not a number".to_string())?;
+    if cols.next().is_some() {
+        return Err("too many columns".into());
+    }
+    Ok(KeyphraseRecord::new(text, LeafId(leaf), search, recall))
+}
+
+/// Writes records to a TSV file (buffered).
+pub fn write_tsv(path: impl AsRef<Path>, records: &[KeyphraseRecord]) -> Result<(), String> {
+    let file = std::fs::File::create(&path)
+        .map_err(|e| format!("create {}: {e}", path.as_ref().display()))?;
+    let mut out = BufWriter::new(file);
+    for rec in records {
+        writeln!(out, "{}\t{}\t{}\t{}", rec.text, rec.leaf.0, rec.search_count, rec.recall_count)
+            .map_err(|e| format!("write: {e}"))?;
+    }
+    out.flush().map_err(|e| format!("flush: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_valid_line() {
+        let rec = parse_line("gaming headphones\t42\t800\t700").unwrap();
+        assert_eq!(rec.text, "gaming headphones");
+        assert_eq!(rec.leaf, LeafId(42));
+        assert_eq!((rec.search_count, rec.recall_count), (800, 700));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_line("").is_err());
+        assert!(parse_line("text only").is_err());
+        assert!(parse_line("text\tnotanumber\t1\t2").is_err());
+        assert!(parse_line("text\t1\t2\t3\t4").is_err());
+        assert!(parse_line("\t1\t2\t3").is_err());
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("graphex-records-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.tsv");
+        let records = vec![
+            KeyphraseRecord::new("a b", LeafId(1), 10, 2),
+            KeyphraseRecord::new("c d e", LeafId(2), 30, 4),
+        ];
+        write_tsv(&path, &records).unwrap();
+        let back = read_tsv(&path).unwrap();
+        assert_eq!(back, records);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let dir = std::env::temp_dir().join(format!("graphex-records2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.tsv");
+        std::fs::write(&path, "# header\n\nx y\t1\t5\t6\n").unwrap();
+        let records = read_tsv(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_reports_path() {
+        let err = read_tsv("/nonexistent/gx.tsv").unwrap_err();
+        assert!(err.contains("/nonexistent/gx.tsv"));
+    }
+}

@@ -1,0 +1,362 @@
+//! Construction phase (paper Sec. III-D).
+//!
+//! Builds one bipartite CSR graph per leaf category from curated keyphrase
+//! records. Construction is deterministic, single-pass, and involves no
+//! weight updates or hyper-parameter training — the property that lets
+//! GraphEx refresh daily ("completes in under 1 minute", Sec. IV-G).
+
+use crate::alignment::Alignment;
+use crate::curation::{curate, CurationConfig, CurationStats};
+use crate::error::{GraphExError, Result};
+use crate::leaf_graph::LeafGraph;
+use crate::model::GraphExModel;
+use crate::types::{KeyphraseRecord, LeafId};
+use graphex_textkit::{FxHashMap, Vocab};
+
+/// Model construction options.
+#[derive(Debug, Clone)]
+pub struct GraphExConfig {
+    /// Curation thresholds (Sec. III-B / Table VII).
+    pub curation: CurationConfig,
+    /// Default ranking alignment (Sec. III-E2 / Table VI). LTA unless
+    /// ablating.
+    pub alignment: Alignment,
+    /// Stem tokens on both the keyphrase and title side (Sec. IV-F1's
+    /// "proprietary stemming function to increase the reach of token
+    /// matches"). On by default.
+    pub stemming: bool,
+    /// Also build a meta-category-wide fallback graph used for items whose
+    /// leaf has no dedicated graph (cold leaves). On by default.
+    pub build_meta_fallback: bool,
+}
+
+impl GraphExConfig {
+    /// Paper-default configuration.
+    pub fn new() -> Self {
+        Self {
+            curation: CurationConfig::default(),
+            alignment: Alignment::Lta,
+            stemming: true,
+            build_meta_fallback: true,
+        }
+    }
+}
+
+// `Default` must match `new` (derive would give stemming=false).
+impl std::default::Default for GraphExConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Accumulates keyphrase records and builds a [`GraphExModel`].
+#[derive(Debug, Default)]
+pub struct GraphExBuilder {
+    config: GraphExConfig,
+    records: Vec<KeyphraseRecord>,
+}
+
+impl GraphExBuilder {
+    pub fn new(config: GraphExConfig) -> Self {
+        Self { config, records: Vec::new() }
+    }
+
+    /// Adds one raw keyphrase row.
+    pub fn add_record(mut self, record: KeyphraseRecord) -> Self {
+        self.records.push(record);
+        self
+    }
+
+    /// Adds many raw keyphrase rows.
+    pub fn add_records(mut self, records: impl IntoIterator<Item = KeyphraseRecord>) -> Self {
+        self.records.extend(records);
+        self
+    }
+
+    /// Number of raw records staged so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Builds the model; see [`GraphExBuilder::build_with_stats`].
+    pub fn build(self) -> Result<GraphExModel> {
+        self.build_with_stats().map(|(m, _)| m)
+    }
+
+    /// Builds the model and reports what curation did.
+    ///
+    /// Fails with [`GraphExError::EmptyModel`] if nothing survives curation
+    /// (e.g. threshold too strict for a small category — the situation the
+    /// paper hit with CAT 3).
+    pub fn build_with_stats(self) -> Result<(GraphExModel, CurationStats)> {
+        let GraphExBuilder { config, records } = self;
+        let (curated, stats) = curate(records, &config.curation);
+        if curated.is_empty() {
+            return Err(GraphExError::EmptyModel);
+        }
+
+        let tokenizer = GraphExModel::make_tokenizer(config.stemming);
+        // Keyphrase *text* identity is the normalized-but-unstemmed form:
+        // recommendations must be exact-match biddable queries, while graph
+        // tokens are stemmed for match reach.
+        let text_normalizer = GraphExModel::make_tokenizer(false);
+
+        let mut tokens = Vocab::new();
+        let mut keyphrases = Vocab::new();
+
+        // Group curated rows by leaf.
+        let mut by_leaf: FxHashMap<LeafId, Vec<&KeyphraseRecord>> = FxHashMap::default();
+        for rec in &curated {
+            by_leaf.entry(rec.leaf).or_default().push(rec);
+        }
+
+        let mut leaves: FxHashMap<LeafId, LeafGraph> =
+            FxHashMap::with_capacity_and_hasher(by_leaf.len(), Default::default());
+        let mut token_buf: Vec<String> = Vec::new();
+        let mut text_buf: Vec<String> = Vec::new();
+
+        for (leaf, recs) in &by_leaf {
+            let graph = build_leaf(
+                recs.iter().copied(),
+                &tokenizer,
+                &text_normalizer,
+                &mut tokens,
+                &mut keyphrases,
+                &mut token_buf,
+                &mut text_buf,
+            );
+            leaves.insert(*leaf, graph);
+        }
+
+        let fallback = if config.build_meta_fallback {
+            Some(Box::new(build_leaf(
+                curated.iter(),
+                &tokenizer,
+                &text_normalizer,
+                &mut tokens,
+                &mut keyphrases,
+                &mut token_buf,
+                &mut text_buf,
+            )))
+        } else {
+            None
+        };
+
+        Ok((
+            GraphExModel {
+                tokens,
+                keyphrases,
+                leaves,
+                fallback,
+                alignment: config.alignment,
+                stemming: config.stemming,
+                tokenizer,
+            },
+            stats,
+        ))
+    }
+}
+
+/// Builds one leaf graph from that leaf's records, interning into the global
+/// vocabularies. Records whose normalized text collides are merged (sum
+/// search, max recall), mirroring curation's duplicate policy.
+fn build_leaf<'a>(
+    recs: impl Iterator<Item = &'a KeyphraseRecord>,
+    tokenizer: &graphex_textkit::Tokenizer,
+    text_normalizer: &graphex_textkit::Tokenizer,
+    tokens: &mut Vocab,
+    keyphrases: &mut Vocab,
+    token_buf: &mut Vec<String>,
+    text_buf: &mut Vec<String>,
+) -> LeafGraph {
+    // local structures
+    let mut local_rows: FxHashMap<u32, u32> = FxHashMap::default(); // global token -> row
+    let mut row_tokens: Vec<u32> = Vec::new();
+    let mut label_index: FxHashMap<u32, u32> = FxHashMap::default(); // global kp id -> local label
+    let mut labels: Vec<u32> = Vec::new();
+    let mut label_len: Vec<u16> = Vec::new();
+    let mut search: Vec<u32> = Vec::new();
+    let mut recall: Vec<u32> = Vec::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+
+    for rec in recs {
+        // Normalized text identity.
+        text_normalizer.tokenize_into(&rec.text, text_buf);
+        if text_buf.is_empty() {
+            continue; // punctuation-only keyphrase: nothing to match on
+        }
+        let normalized = text_buf.join(" ");
+        let kp_id = keyphrases.intern(&normalized);
+
+        // Stemmed distinct graph tokens.
+        tokenizer.tokenize_into(&rec.text, token_buf);
+        token_buf.sort_unstable();
+        token_buf.dedup();
+        debug_assert!(!token_buf.is_empty());
+
+        let local_label = match label_index.entry(kp_id) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let l = *e.get();
+                // duplicate within leaf after normalization: merge counts
+                search[l as usize] = search[l as usize].saturating_add(rec.search_count);
+                recall[l as usize] = recall[l as usize].max(rec.recall_count);
+                continue;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let l = labels.len() as u32;
+                e.insert(l);
+                labels.push(kp_id);
+                label_len.push(token_buf.len().min(u16::MAX as usize) as u16);
+                search.push(rec.search_count);
+                recall.push(rec.recall_count);
+                l
+            }
+        };
+
+        for tok in token_buf.iter() {
+            let global = tokens.intern(tok);
+            let row = match local_rows.entry(global) {
+                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let row = row_tokens.len() as u32;
+                    e.insert(row);
+                    row_tokens.push(global);
+                    row
+                }
+            };
+            edges.push((row, local_label));
+        }
+    }
+
+    LeafGraph::new(row_tokens, edges, labels, label_len, search, recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference::InferenceParams;
+    use crate::inference::Scratch;
+
+    fn rec(text: &str, leaf: u32, s: u32, r: u32) -> KeyphraseRecord {
+        KeyphraseRecord::new(text, LeafId(leaf), s, r)
+    }
+
+    fn no_curation() -> GraphExConfig {
+        let mut c = GraphExConfig::default();
+        c.curation.min_search_count = 0;
+        c
+    }
+
+    #[test]
+    fn empty_build_fails() {
+        let err = GraphExBuilder::new(GraphExConfig::default()).build();
+        assert!(matches!(err, Err(GraphExError::EmptyModel)));
+    }
+
+    #[test]
+    fn all_below_threshold_fails() {
+        let err = GraphExBuilder::new(GraphExConfig::default())
+            .add_record(rec("rare phrase", 1, 3, 1))
+            .build();
+        assert!(matches!(err, Err(GraphExError::EmptyModel)));
+    }
+
+    #[test]
+    fn builds_one_graph_per_leaf_plus_fallback() {
+        let model = GraphExBuilder::new(no_curation())
+            .add_records(vec![rec("phone case", 1, 10, 1), rec("phone charger", 2, 10, 1)])
+            .build()
+            .unwrap();
+        assert_eq!(model.leaf_ids().count(), 2);
+        assert!(model.has_fallback());
+        let stats = model.stats();
+        // "phone" interned once globally, rows exist in both leaves.
+        assert_eq!(stats.num_keyphrases, 2);
+    }
+
+    #[test]
+    fn stemming_bridges_title_and_keyphrase_forms() {
+        let model = GraphExBuilder::new(no_curation())
+            .add_record(rec("gaming headphone", 1, 10, 1))
+            .build()
+            .unwrap();
+        // Title uses the plural; keyphrase the singular. Stemming unifies.
+        let preds = model.infer_simple("gaming headphones bundle", LeafId(1), 5);
+        assert_eq!(preds.len(), 1);
+        assert_eq!(preds[0].matched, 2);
+        // Output text preserves the original (normalized) query form.
+        assert_eq!(model.keyphrase_text(preds[0].keyphrase), Some("gaming headphone"));
+    }
+
+    #[test]
+    fn duplicate_normalized_keyphrases_merge() {
+        let model = GraphExBuilder::new(no_curation())
+            .add_records(vec![rec("Phone Case!", 1, 10, 5), rec("phone case", 1, 7, 9)])
+            .build()
+            .unwrap();
+        let g = model.leaf_graph(LeafId(1)).unwrap();
+        assert_eq!(g.num_labels(), 1);
+        assert_eq!(g.search_count(0), 17);
+        assert_eq!(g.recall_count(0), 9);
+    }
+
+    #[test]
+    fn repeated_word_in_keyphrase_counts_once() {
+        let model = GraphExBuilder::new(no_curation())
+            .add_record(rec("case case case", 1, 10, 1))
+            .build()
+            .unwrap();
+        let g = model.leaf_graph(LeafId(1)).unwrap();
+        assert_eq!(g.num_words(), 1);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.label_len(0), 1);
+    }
+
+    #[test]
+    fn punctuation_only_keyphrase_is_skipped() {
+        let model = GraphExBuilder::new(no_curation())
+            .add_records(vec![rec("!!!", 1, 10, 1), rec("real phrase", 1, 10, 1)])
+            .build()
+            .unwrap();
+        assert_eq!(model.num_keyphrases(), 1);
+    }
+
+    #[test]
+    fn no_fallback_when_disabled() {
+        let mut config = no_curation();
+        config.build_meta_fallback = false;
+        let model = GraphExBuilder::new(config).add_record(rec("a b", 1, 10, 1)).build().unwrap();
+        assert!(!model.has_fallback());
+    }
+
+    #[test]
+    fn leaf_isolation() {
+        // Same word in two leaves must not leak labels across graphs.
+        let model = GraphExBuilder::new(no_curation())
+            .add_records(vec![rec("apple iphone", 1, 10, 1), rec("apple juice", 2, 10, 1)])
+            .build()
+            .unwrap();
+        let mut scratch = Scratch::new();
+        let preds = model
+            .infer("fresh apple crate", LeafId(2), &InferenceParams::with_k(10), &mut scratch)
+            .unwrap();
+        let texts: Vec<&str> = preds.iter().map(|p| model.keyphrase_text(p.keyphrase).unwrap()).collect();
+        assert_eq!(texts, ["apple juice"]);
+    }
+
+    #[test]
+    fn build_with_stats_reports_curation() {
+        let mut config = GraphExConfig::default();
+        config.curation.min_search_count = 100;
+        let (_, stats) = GraphExBuilder::new(config)
+            .add_records(vec![rec("kept phrase", 1, 500, 1), rec("dropped phrase", 1, 3, 1)])
+            .build_with_stats()
+            .unwrap();
+        assert_eq!(stats.kept, 1);
+        assert_eq!(stats.dropped_low_search, 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! Compressed Sparse Row adjacency.
+//!
+//! The bipartite word→keyphrase graph of each leaf category is stored in CSR
+//! (paper Sec. III-D): row `r` (a word, leaf-local) has its neighbor labels
+//! in `targets[offsets[r] .. offsets[r+1]]`. Space is `|X| + |E|` 32-bit
+//! words; neighbor traversal is a contiguous slice scan — the property the
+//! paper's `O(|T| · d_avg)` inference bound rests on.
+
+/// Immutable CSR adjacency from `u32` rows to `u32` targets.
+///
+/// Construction sorts and de-duplicates the edge list exactly as the paper
+/// describes ("constructed as tuples, sorted and then de-duplicated").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Box<[u32]>,
+    targets: Box<[u32]>,
+}
+
+impl Csr {
+    /// Builds a CSR over `num_rows` rows from an edge list. Edges are sorted
+    /// and de-duplicated; `edges` is consumed as the scratch buffer.
+    ///
+    /// # Panics
+    /// Panics if an edge references `row >= num_rows` (construction-time
+    /// programming error, not a data error).
+    pub fn from_edges(num_rows: u32, mut edges: Vec<(u32, u32)>) -> Self {
+        edges.sort_unstable();
+        edges.dedup();
+        let mut offsets = vec![0u32; num_rows as usize + 1];
+        for &(row, _) in &edges {
+            assert!(row < num_rows, "edge row {row} out of bounds ({num_rows} rows)");
+            offsets[row as usize + 1] += 1;
+        }
+        for i in 0..num_rows as usize {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets: Vec<u32> = edges.iter().map(|&(_, t)| t).collect();
+        Self { offsets: offsets.into_boxed_slice(), targets: targets.into_boxed_slice() }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of (deduplicated) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Neighbors of `row` as a sorted slice. Empty slice for out-of-range
+    /// rows (callers look rows up through a word index first, so this is a
+    /// defensive default rather than a hot-path branch).
+    #[inline]
+    pub fn neighbors(&self, row: u32) -> &[u32] {
+        let r = row as usize;
+        if r + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.targets[self.offsets[r] as usize..self.offsets[r + 1] as usize]
+    }
+
+    /// Degree of `row`.
+    #[inline]
+    pub fn degree(&self, row: u32) -> u32 {
+        let r = row as usize;
+        if r + 1 >= self.offsets.len() {
+            return 0;
+        }
+        self.offsets[r + 1] - self.offsets[r]
+    }
+
+    /// Average degree `|E| / |X|` (the paper's `d_avg`).
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_rows() == 0 {
+            return 0.0;
+        }
+        self.num_edges() as f64 / f64::from(self.num_rows())
+    }
+
+    /// Iterates all `(row, target)` edges in row order.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.num_rows()).flat_map(move |r| self.neighbors(r).iter().map(move |&t| (r, t)))
+    }
+
+    /// Heap bytes used (paper Fig. 6b accounting).
+    pub fn heap_bytes(&self) -> usize {
+        (self.offsets.len() + self.targets.len()) * std::mem::size_of::<u32>()
+    }
+
+    /// Raw parts for serialization.
+    pub(crate) fn as_parts(&self) -> (&[u32], &[u32]) {
+        (&self.offsets, &self.targets)
+    }
+
+    /// Rebuilds from raw parts, validating CSR invariants (monotone offsets,
+    /// first 0 / last == |targets|). Used by deserialization, hence `Result`.
+    pub(crate) fn from_parts(offsets: Vec<u32>, targets: Vec<u32>) -> Result<Self, String> {
+        if offsets.is_empty() {
+            return Err("csr: empty offsets".into());
+        }
+        if offsets[0] != 0 {
+            return Err("csr: offsets[0] != 0".into());
+        }
+        if *offsets.last().unwrap() as usize != targets.len() {
+            return Err("csr: last offset != #targets".into());
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("csr: offsets not monotone".into());
+        }
+        Ok(Self { offsets: offsets.into_boxed_slice(), targets: targets.into_boxed_slice() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // 3 rows; duplicate + unsorted edges on purpose.
+        Csr::from_edges(3, vec![(2, 1), (0, 5), (0, 3), (0, 5), (2, 0)])
+    }
+
+    #[test]
+    fn builds_sorted_deduped() {
+        let csr = sample();
+        assert_eq!(csr.num_rows(), 3);
+        assert_eq!(csr.num_edges(), 4);
+        assert_eq!(csr.neighbors(0), &[3, 5]);
+        assert_eq!(csr.neighbors(1), &[] as &[u32]);
+        assert_eq!(csr.neighbors(2), &[0, 1]);
+    }
+
+    #[test]
+    fn degrees_and_avg() {
+        let csr = sample();
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.degree(1), 0);
+        assert_eq!(csr.degree(2), 2);
+        assert!((csr.avg_degree() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_row_is_empty() {
+        let csr = sample();
+        assert_eq!(csr.neighbors(99), &[] as &[u32]);
+        assert_eq!(csr.degree(99), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::from_edges(0, vec![]);
+        assert_eq!(csr.num_rows(), 0);
+        assert_eq!(csr.num_edges(), 0);
+        assert_eq!(csr.avg_degree(), 0.0);
+        assert_eq!(csr.edges().count(), 0);
+    }
+
+    #[test]
+    fn edges_iterator_roundtrip() {
+        let csr = sample();
+        let edges: Vec<(u32, u32)> = csr.edges().collect();
+        assert_eq!(edges, vec![(0, 3), (0, 5), (2, 0), (2, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_out_of_bounds_panics() {
+        let _ = Csr::from_edges(1, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn from_parts_validation() {
+        assert!(Csr::from_parts(vec![], vec![]).is_err());
+        assert!(Csr::from_parts(vec![1, 2], vec![0, 0]).is_err()); // first != 0
+        assert!(Csr::from_parts(vec![0, 3], vec![7]).is_err()); // last != len
+        assert!(Csr::from_parts(vec![0, 2, 1], vec![9]).is_err()); // not monotone
+        let ok = Csr::from_parts(vec![0, 1, 2], vec![4, 9]).unwrap();
+        assert_eq!(ok.neighbors(1), &[9]);
+    }
+
+    #[test]
+    fn heap_bytes_is_linear() {
+        let csr = sample();
+        assert_eq!(csr.heap_bytes(), (4 + 4) * 4);
+    }
+}

@@ -1,0 +1,211 @@
+//! Dataset curation (paper Sec. III-B).
+//!
+//! GraphEx deliberately trains on *keyphrases only* — never on item-keyphrase
+//! click associations — which is how it sheds the MNAR click biases of
+//! Sec. I-A2. Curation enforces the head-keyphrase bias: only phrases buyers
+//! actually search frequently survive (the paper's production threshold is
+//! "searched at least once per day", i.e. 180 over a 6-month window, relaxed
+//! to 90 where a category is too small — Table VII quantifies the trade).
+
+use crate::types::KeyphraseRecord;
+
+/// Thresholds applied to raw keyphrase rows before graph construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurationConfig {
+    /// Keep only keyphrases with `search_count >= min_search_count`.
+    /// Paper default 180 (once per day over 6 months); Table VII compares 90.
+    pub min_search_count: u32,
+    /// Drop keyphrases with fewer tokens (1-token queries are usually too
+    /// generic to bid on profitably, but the paper keeps them — default 1).
+    pub min_tokens: usize,
+    /// Drop keyphrases with more tokens (defensive bound; buyer queries are
+    /// short).
+    pub max_tokens: usize,
+    /// Optional cap on keyphrases per leaf, keeping the highest-searched
+    /// ones. `None` = uncapped (paper default).
+    pub max_per_leaf: Option<usize>,
+}
+
+impl Default for CurationConfig {
+    fn default() -> Self {
+        Self { min_search_count: 180, min_tokens: 1, max_tokens: 12, max_per_leaf: None }
+    }
+}
+
+impl CurationConfig {
+    /// Config with a relaxed search-count threshold (e.g. small categories,
+    /// Table II fn. 5: "the constraint was eased for CAT 3").
+    pub fn with_min_search_count(min: u32) -> Self {
+        Self { min_search_count: min, ..Self::default() }
+    }
+}
+
+/// What curation kept and why rows were dropped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CurationStats {
+    pub input: usize,
+    pub kept: usize,
+    pub dropped_low_search: usize,
+    pub dropped_token_bounds: usize,
+    pub dropped_leaf_cap: usize,
+    /// Duplicate (leaf, text) rows merged into an existing row.
+    pub merged_duplicates: usize,
+}
+
+/// Applies [`CurationConfig`] to raw records.
+///
+/// Token counting uses a simple whitespace split of the *raw* text — exact
+/// token identity is the builder's job; curation only needs a length bound.
+/// Duplicate `(leaf, text)` rows are merged: search counts are summed
+/// (multiple aggregation windows), recall counts take the max (fresher crawl
+/// wins; the absolute value only matters as a rank).
+pub fn curate(
+    records: impl IntoIterator<Item = KeyphraseRecord>,
+    config: &CurationConfig,
+) -> (Vec<KeyphraseRecord>, CurationStats) {
+    let mut stats = CurationStats::default();
+    // (leaf, text) -> index into kept
+    let mut index: std::collections::HashMap<(u32, String), usize> = std::collections::HashMap::new();
+    let mut kept: Vec<KeyphraseRecord> = Vec::new();
+
+    for rec in records {
+        stats.input += 1;
+        let ntokens = rec.text.split_whitespace().count();
+        if ntokens < config.min_tokens || ntokens > config.max_tokens {
+            stats.dropped_token_bounds += 1;
+            continue;
+        }
+        if rec.search_count < config.min_search_count {
+            stats.dropped_low_search += 1;
+            continue;
+        }
+        match index.entry((rec.leaf.0, rec.text.clone())) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let existing = &mut kept[*e.get()];
+                existing.search_count = existing.search_count.saturating_add(rec.search_count);
+                existing.recall_count = existing.recall_count.max(rec.recall_count);
+                stats.merged_duplicates += 1;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(kept.len());
+                kept.push(rec);
+            }
+        }
+    }
+
+    if let Some(cap) = config.max_per_leaf {
+        // Sort within leaf by search count desc and truncate each leaf group.
+        kept.sort_unstable_by(|a, b| {
+            (a.leaf, std::cmp::Reverse(a.search_count), &a.text).cmp(&(
+                b.leaf,
+                std::cmp::Reverse(b.search_count),
+                &b.text,
+            ))
+        });
+        let mut out: Vec<KeyphraseRecord> = Vec::with_capacity(kept.len());
+        let mut run_leaf = None;
+        let mut run_len = 0usize;
+        for rec in kept {
+            if run_leaf != Some(rec.leaf) {
+                run_leaf = Some(rec.leaf);
+                run_len = 0;
+            }
+            if run_len < cap {
+                out.push(rec);
+                run_len += 1;
+            } else {
+                stats.dropped_leaf_cap += 1;
+            }
+        }
+        kept = out;
+    }
+
+    stats.kept = kept.len();
+    (kept, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::LeafId;
+
+    fn rec(text: &str, leaf: u32, s: u32, r: u32) -> KeyphraseRecord {
+        KeyphraseRecord::new(text, LeafId(leaf), s, r)
+    }
+
+    #[test]
+    fn threshold_filters_tail() {
+        let cfg = CurationConfig::with_min_search_count(100);
+        let (kept, stats) = curate(
+            vec![rec("head phrase", 1, 500, 10), rec("tail phrase", 1, 5, 10)],
+            &cfg,
+        );
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].text, "head phrase");
+        assert_eq!(stats.dropped_low_search, 1);
+        assert_eq!(stats.kept, 1);
+    }
+
+    #[test]
+    fn token_bounds() {
+        let cfg = CurationConfig { min_tokens: 2, max_tokens: 3, min_search_count: 0, max_per_leaf: None };
+        let (kept, stats) = curate(
+            vec![
+                rec("one", 1, 10, 1),
+                rec("two tokens", 1, 10, 1),
+                rec("three tokens here", 1, 10, 1),
+                rec("way too many tokens in here", 1, 10, 1),
+            ],
+            &cfg,
+        );
+        assert_eq!(kept.len(), 2);
+        assert_eq!(stats.dropped_token_bounds, 2);
+    }
+
+    #[test]
+    fn duplicates_merge_sum_search_max_recall() {
+        let cfg = CurationConfig::with_min_search_count(0);
+        let (kept, stats) = curate(
+            vec![rec("gaming mouse", 2, 100, 50), rec("gaming mouse", 2, 40, 80)],
+            &cfg,
+        );
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].search_count, 140);
+        assert_eq!(kept[0].recall_count, 80);
+        assert_eq!(stats.merged_duplicates, 1);
+    }
+
+    #[test]
+    fn same_text_different_leaf_not_merged() {
+        // The paper: "a keyphrase can be duplicated across different Leaf
+        // Categories."
+        let cfg = CurationConfig::with_min_search_count(0);
+        let (kept, _) = curate(vec![rec("charger", 1, 10, 1), rec("charger", 2, 10, 1)], &cfg);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn leaf_cap_keeps_highest_search() {
+        let cfg = CurationConfig { max_per_leaf: Some(2), min_search_count: 0, ..Default::default() };
+        let (kept, stats) = curate(
+            vec![rec("a b", 1, 10, 1), rec("c d", 1, 30, 1), rec("e f", 1, 20, 1), rec("g h", 2, 1, 1)],
+            &cfg,
+        );
+        let leaf1: Vec<&str> = kept.iter().filter(|r| r.leaf == LeafId(1)).map(|r| r.text.as_str()).collect();
+        assert_eq!(leaf1, ["c d", "e f"]);
+        assert_eq!(stats.dropped_leaf_cap, 1);
+        assert_eq!(kept.len(), 3);
+    }
+
+    #[test]
+    fn default_matches_paper_production_threshold() {
+        assert_eq!(CurationConfig::default().min_search_count, 180);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (kept, stats) = curate(vec![], &CurationConfig::default());
+        assert!(kept.is_empty());
+        assert_eq!(stats, CurationStats::default());
+    }
+}

@@ -1,0 +1,285 @@
+//! Per-leaf-category bipartite graph (paper Sec. III-D).
+//!
+//! One [`LeafGraph`] per leaf category: words of the leaf's curated
+//! keyphrases on the left (`X`), the keyphrases themselves on the right
+//! (`Y`), stored as CSR from word-rows to leaf-local label indices. Label
+//! attributes (global keyphrase id, distinct token count, Search/Recall
+//! counts) live in parallel arrays indexed by local label id, so `S(l)` /
+//! `R(l)` are unit-time lookups exactly as the paper requires.
+
+use crate::csr::Csr;
+use crate::types::KeyphraseId;
+use graphex_textkit::{FxHashMap, TokenId};
+
+/// Bipartite word→keyphrase graph for one leaf category.
+#[derive(Debug, Clone)]
+pub struct LeafGraph {
+    /// Global token id → CSR row. One probe per title token at inference.
+    word_rows: FxHashMap<TokenId, u32>,
+    /// Row `r` (a word) ↦ local label indices containing that word.
+    csr: Csr,
+    /// Local label index → global keyphrase id.
+    labels: Box<[KeyphraseId]>,
+    /// Distinct token count `|l|` per label (u16: queries are short).
+    label_len: Box<[u16]>,
+    /// Search count `S(l)` per label.
+    search: Box<[u32]>,
+    /// Recall count `R(l)` per label.
+    recall: Box<[u32]>,
+    /// Row → global token id (inverse of `word_rows`; needed for
+    /// serialization and introspection).
+    row_tokens: Box<[TokenId]>,
+}
+
+impl LeafGraph {
+    /// Assembles a leaf graph from its parts. `edges` are
+    /// `(row, local_label)` pairs; rows must be dense `0..row_tokens.len()`.
+    ///
+    /// # Panics
+    /// Panics if the parallel arrays disagree in length or an edge is out of
+    /// bounds — construction bugs, not data errors.
+    pub(crate) fn new(
+        row_tokens: Vec<TokenId>,
+        edges: Vec<(u32, u32)>,
+        labels: Vec<KeyphraseId>,
+        label_len: Vec<u16>,
+        search: Vec<u32>,
+        recall: Vec<u32>,
+    ) -> Self {
+        assert_eq!(labels.len(), label_len.len());
+        assert_eq!(labels.len(), search.len());
+        assert_eq!(labels.len(), recall.len());
+        let num_rows = row_tokens.len() as u32;
+        let num_labels = labels.len() as u32;
+        debug_assert!(edges.iter().all(|&(_, l)| l < num_labels), "edge label out of bounds");
+        let csr = Csr::from_edges(num_rows, edges);
+        let mut word_rows = FxHashMap::with_capacity_and_hasher(row_tokens.len(), Default::default());
+        for (row, &tok) in row_tokens.iter().enumerate() {
+            let prev = word_rows.insert(tok, row as u32);
+            debug_assert!(prev.is_none(), "duplicate token in row_tokens");
+        }
+        Self {
+            word_rows,
+            csr,
+            labels: labels.into_boxed_slice(),
+            label_len: label_len.into_boxed_slice(),
+            search: search.into_boxed_slice(),
+            recall: recall.into_boxed_slice(),
+            row_tokens: row_tokens.into_boxed_slice(),
+        }
+    }
+
+    /// Labels containing the word with global token id `tok` (sorted local
+    /// label indices); empty if the word doesn't occur in this leaf.
+    #[inline]
+    pub fn labels_of_token(&self, tok: TokenId) -> &[u32] {
+        match self.word_rows.get(&tok) {
+            Some(&row) => self.csr.neighbors(row),
+            None => &[],
+        }
+    }
+
+    /// Global keyphrase id of a local label.
+    #[inline]
+    pub fn keyphrase_id(&self, label: u32) -> KeyphraseId {
+        self.labels[label as usize]
+    }
+
+    /// Distinct token count `|l|`.
+    #[inline]
+    pub fn label_len(&self, label: u32) -> u16 {
+        self.label_len[label as usize]
+    }
+
+    /// Search count `S(l)`.
+    #[inline]
+    pub fn search_count(&self, label: u32) -> u32 {
+        self.search[label as usize]
+    }
+
+    /// Recall count `R(l)`.
+    #[inline]
+    pub fn recall_count(&self, label: u32) -> u32 {
+        self.recall[label as usize]
+    }
+
+    /// Number of distinct words `|X|`.
+    pub fn num_words(&self) -> u32 {
+        self.csr.num_rows()
+    }
+
+    /// Number of labels `|Y|`.
+    pub fn num_labels(&self) -> u32 {
+        self.labels.len() as u32
+    }
+
+    /// Number of word→label edges `|E|`.
+    pub fn num_edges(&self) -> usize {
+        self.csr.num_edges()
+    }
+
+    /// `d_avg = |E| / |X|`.
+    pub fn avg_degree(&self) -> f64 {
+        self.csr.avg_degree()
+    }
+
+    /// Approximate heap footprint (Fig. 6b accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.csr.heap_bytes()
+            + self.labels.len() * 4
+            + self.label_len.len() * 2
+            + self.search.len() * 4
+            + self.recall.len() * 4
+            + self.row_tokens.len() * 4
+            // FxHashMap entry ≈ key+value+control byte, amortized 1.14 load
+            + self.word_rows.len() * 9
+    }
+
+    // ---- serialization accessors -------------------------------------
+
+    pub(crate) fn row_tokens(&self) -> &[TokenId] {
+        &self.row_tokens
+    }
+
+    pub(crate) fn csr_parts(&self) -> (&[u32], &[u32]) {
+        self.csr.as_parts()
+    }
+
+    pub(crate) fn labels(&self) -> &[KeyphraseId] {
+        &self.labels
+    }
+
+    pub(crate) fn label_lens(&self) -> &[u16] {
+        &self.label_len
+    }
+
+    pub(crate) fn searches(&self) -> &[u32] {
+        &self.search
+    }
+
+    pub(crate) fn recalls(&self) -> &[u32] {
+        &self.recall
+    }
+
+    /// Rebuild from serialized parts with validation.
+    pub(crate) fn from_serialized(
+        row_tokens: Vec<TokenId>,
+        offsets: Vec<u32>,
+        targets: Vec<u32>,
+        labels: Vec<KeyphraseId>,
+        label_len: Vec<u16>,
+        search: Vec<u32>,
+        recall: Vec<u32>,
+    ) -> Result<Self, String> {
+        if labels.len() != label_len.len() || labels.len() != search.len() || labels.len() != recall.len() {
+            return Err("leaf graph: parallel label arrays disagree in length".into());
+        }
+        if offsets.len() != row_tokens.len() + 1 {
+            return Err("leaf graph: offsets/rows mismatch".into());
+        }
+        let csr = Csr::from_parts(offsets, targets)?;
+        let num_labels = labels.len() as u32;
+        if csr.edges().any(|(_, l)| l >= num_labels) {
+            return Err("leaf graph: edge target out of label range".into());
+        }
+        let mut word_rows = FxHashMap::with_capacity_and_hasher(row_tokens.len(), Default::default());
+        for (row, &tok) in row_tokens.iter().enumerate() {
+            if word_rows.insert(tok, row as u32).is_some() {
+                return Err("leaf graph: duplicate token row".into());
+            }
+        }
+        Ok(Self {
+            word_rows,
+            csr,
+            labels: labels.into_boxed_slice(),
+            label_len: label_len.into_boxed_slice(),
+            search: search.into_boxed_slice(),
+            recall: recall.into_boxed_slice(),
+            row_tokens: row_tokens.into_boxed_slice(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 3 example graph: 7 words × 5 keyphrases.
+    pub(crate) fn figure3_graph() -> (LeafGraph, Vec<&'static str>) {
+        // word rows: 0 audeze, 1 maxwell, 2 headphones, 3 gaming, 4 xbox,
+        //            5 wireless, 6 bluetooth   (token ids == rows here)
+        // labels: 0 "audeze maxwell" 1 "audeze headphones"
+        //         2 "gaming headphones xbox" 3 "wireless headphones xbox"
+        //         4 "bluetooth wireless headphones"
+        let row_tokens = vec![0, 1, 2, 3, 4, 5, 6];
+        let edges = vec![
+            (0, 0), (1, 0),                  // audeze maxwell
+            (0, 1), (2, 1),                  // audeze headphones
+            (3, 2), (2, 2), (4, 2),          // gaming headphones xbox
+            (5, 3), (2, 3), (4, 3),          // wireless headphones xbox
+            (6, 4), (5, 4), (2, 4),          // bluetooth wireless headphones
+        ];
+        let labels = vec![10, 11, 12, 13, 14]; // arbitrary global ids
+        let label_len = vec![2, 2, 3, 3, 3];
+        let search = vec![900, 450, 800, 650, 300];
+        let recall = vec![120, 300, 700, 800, 900];
+        let graph = LeafGraph::new(row_tokens, edges, labels, label_len, search, recall);
+        let words = vec!["audeze", "maxwell", "headphones", "gaming", "xbox", "wireless", "bluetooth"];
+        (graph, words)
+    }
+
+    #[test]
+    fn figure3_counts() {
+        let (g, _) = figure3_graph();
+        assert_eq!(g.num_words(), 7);
+        assert_eq!(g.num_labels(), 5);
+        assert_eq!(g.num_edges(), 13);
+    }
+
+    #[test]
+    fn adjacency_matches_figure3() {
+        let (g, _) = figure3_graph();
+        // "headphones" (token 2) occurs in labels 1,2,3,4.
+        assert_eq!(g.labels_of_token(2), &[1, 2, 3, 4]);
+        // "audeze" (token 0) in labels 0,1.
+        assert_eq!(g.labels_of_token(0), &[0, 1]);
+        // unknown word
+        assert_eq!(g.labels_of_token(999), &[] as &[u32]);
+    }
+
+    #[test]
+    fn attribute_lookups_are_indexed() {
+        let (g, _) = figure3_graph();
+        assert_eq!(g.keyphrase_id(0), 10);
+        assert_eq!(g.label_len(2), 3);
+        assert_eq!(g.search_count(0), 900);
+        assert_eq!(g.recall_count(4), 900);
+    }
+
+    #[test]
+    fn from_serialized_validates() {
+        // offsets/rows mismatch
+        let bad = LeafGraph::from_serialized(vec![1, 2], vec![0, 0], vec![], vec![], vec![], vec![], vec![]);
+        assert!(bad.is_err());
+        // edge target out of range
+        let bad = LeafGraph::from_serialized(
+            vec![7],
+            vec![0, 1],
+            vec![5],
+            vec![42],
+            vec![1],
+            vec![1],
+            vec![1],
+        );
+        assert!(bad.unwrap_err().contains("out of label range"));
+        // parallel array mismatch
+        let bad = LeafGraph::from_serialized(vec![], vec![0], vec![], vec![9], vec![], vec![1], vec![1]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn heap_bytes_positive_and_linear() {
+        let (g, _) = figure3_graph();
+        assert!(g.heap_bytes() > 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! # GraphEx — graph-based extraction for advertiser keyphrase recommendation
+//!
+//! Rust implementation of *GraphEx: A Graph-based Extraction Method for
+//! Advertiser Keyphrase Recommendation* (Mishra et al., ICDE 2025,
+//! arXiv:2409.03140).
+//!
+//! GraphEx recommends keyphrases (buyer search queries an advertiser can bid
+//! on) for an item given only its **title** and **leaf category**. It solves
+//! the constrained permutation problem of Sec. III-A: generate exactly those
+//! permutations of title tokens that are *valid, actively-searched buyer
+//! queries*, without being limited by token adjacency or presence order.
+//!
+//! The method has two phases:
+//!
+//! 1. **Construction** ([`GraphExBuilder`]): for every leaf category, build a
+//!    bipartite graph from curated keyphrases — words on one side, keyphrases
+//!    on the other, an edge whenever the word occurs in the keyphrase. The
+//!    graph is stored in CSR; words and keyphrases are interned `u32`s.
+//!    No weights, no hyper-parameters, no epochs: construction is a single
+//!    pass and runs in seconds (paper: "under 1 minute" for eBay-scale
+//!    categories).
+//! 2. **Inference** ([`GraphExModel::infer`]): walk the adjacency of each
+//!    title token, count per-keyphrase hits with a generation-stamped count
+//!    array (the `DC(·)` de-duplicate-and-count of Algorithm 1), prune
+//!    candidates by count group, then rank by **Label-Title Alignment**
+//!    `LTA(l, c) = c / (|l| − c + 1)` with search-count / recall-count
+//!    tie-breaks.
+//!
+//! ```
+//! use graphex_core::{Alignment, GraphExBuilder, GraphExConfig, KeyphraseRecord, LeafId};
+//!
+//! let leaf = LeafId(7);
+//! let records = vec![
+//!     KeyphraseRecord::new("audeze maxwell", leaf, 900, 120),
+//!     KeyphraseRecord::new("audeze headphones", leaf, 450, 300),
+//!     KeyphraseRecord::new("gaming headphones xbox", leaf, 800, 700),
+//!     KeyphraseRecord::new("wireless headphones xbox", leaf, 650, 800),
+//!     KeyphraseRecord::new("bluetooth wireless headphones", leaf, 300, 900),
+//! ];
+//! let model = GraphExBuilder::new(GraphExConfig::default())
+//!     .add_records(records)
+//!     .build()
+//!     .unwrap();
+//!
+//! let preds = model.infer_simple("Audeze Maxwell gaming headphones for Xbox", leaf, 3);
+//! let texts: Vec<&str> = preds.iter().map(|p| model.keyphrase_text(p.keyphrase).unwrap()).collect();
+//! // "gaming headphones xbox" is fully matched: LTA 3/1 = 3.0 ranks first;
+//! // "audeze maxwell" (LTA 2/1) beats "audeze headphones" on search count.
+//! assert_eq!(texts, ["gaming headphones xbox", "audeze maxwell", "audeze headphones"]);
+//! ```
+//!
+//! The crate is CPU-only, allocation-free per inference at steady state
+//! (reusable [`Scratch`]), and scales batch inference across cores with
+//! [`parallel::batch_infer`].
+
+pub mod alignment;
+pub mod builder;
+pub mod csr;
+pub mod curation;
+pub mod diff;
+pub mod error;
+pub mod explain;
+pub mod inference;
+pub mod leaf_graph;
+pub mod model;
+pub mod parallel;
+pub mod ranking;
+pub mod serialize;
+pub mod types;
+
+pub use alignment::Alignment;
+pub use builder::{GraphExBuilder, GraphExConfig};
+pub use curation::{CurationConfig, CurationStats};
+pub use error::GraphExError;
+pub use explain::ExplainedPrediction;
+pub use inference::{InferenceParams, Prediction, Scratch};
+pub use model::{GraphExModel, ModelStats};
+pub use types::{KeyphraseId, KeyphraseRecord, LeafId};

@@ -1,0 +1,129 @@
+//! Multithreaded batch inference (paper Sec. IV-A / IV-H).
+//!
+//! GraphEx "employs coarse-grained multithreading, assigning each input's
+//! inference to an individual thread". We chunk the request slice across
+//! `crossbeam` scoped threads; each thread owns one [`Scratch`], so the
+//! steady state does no cross-thread synchronization and no allocation
+//! beyond the result vectors.
+
+use crate::inference::{InferenceParams, Prediction, Scratch};
+use crate::model::GraphExModel;
+use crate::types::LeafId;
+
+/// One inference request in a batch.
+#[derive(Debug, Clone, Copy)]
+pub struct InferRequest<'a> {
+    pub title: &'a str,
+    pub leaf: LeafId,
+}
+
+impl<'a> InferRequest<'a> {
+    pub fn new(title: &'a str, leaf: LeafId) -> Self {
+        Self { title, leaf }
+    }
+}
+
+/// Runs inference for every request, in order, using up to `num_threads`
+/// worker threads (`0` = all available cores).
+///
+/// Unknown-leaf requests yield an empty prediction list (a batch must not
+/// abort because one item is in a cold category — mirrors production
+/// behaviour where such items simply get no recommendations from this
+/// source).
+pub fn batch_infer(
+    model: &GraphExModel,
+    requests: &[InferRequest<'_>],
+    params: &InferenceParams,
+    num_threads: usize,
+) -> Vec<Vec<Prediction>> {
+    let threads = effective_threads(num_threads, requests.len());
+    if threads <= 1 {
+        let mut scratch = Scratch::new();
+        return requests
+            .iter()
+            .map(|r| model.infer(r.title, r.leaf, params, &mut scratch).unwrap_or_default())
+            .collect();
+    }
+
+    let mut results: Vec<Vec<Prediction>> = vec![Vec::new(); requests.len()];
+    let chunk = requests.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (req_chunk, out_chunk) in requests.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                let mut scratch = Scratch::new();
+                for (req, out) in req_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *out = model.infer(req.title, req.leaf, params, &mut scratch).unwrap_or_default();
+                }
+            });
+        }
+    })
+    .expect("batch inference worker panicked");
+    results
+}
+
+fn effective_threads(requested: usize, work_items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = if requested == 0 { hw } else { requested };
+    threads.min(work_items.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{GraphExBuilder, GraphExConfig};
+    use crate::types::KeyphraseRecord;
+
+    fn model() -> GraphExModel {
+        let mut config = GraphExConfig::default();
+        config.curation.min_search_count = 0;
+        config.build_meta_fallback = false;
+        GraphExBuilder::new(config)
+            .add_records((0..50).map(|i| {
+                KeyphraseRecord::new(format!("brand{i} model{i} widget"), LeafId(i % 5), 100 + i, 10 + i)
+            }))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let model = model();
+        let titles: Vec<String> =
+            (0..40).map(|i| format!("brand{i} model{i} widget deluxe edition")).collect();
+        let requests: Vec<InferRequest> =
+            titles.iter().enumerate().map(|(i, t)| InferRequest::new(t, LeafId(i as u32 % 5))).collect();
+        let params = InferenceParams::with_k(10);
+        let seq = batch_infer(&model, &requests, &params, 1);
+        let par = batch_infer(&model, &requests, &params, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            let ka: Vec<u32> = a.iter().map(|p| p.keyphrase).collect();
+            let kb: Vec<u32> = b.iter().map(|p| p.keyphrase).collect();
+            assert_eq!(ka, kb);
+        }
+    }
+
+    #[test]
+    fn unknown_leaf_in_batch_is_empty_not_fatal() {
+        let model = model();
+        let requests = [InferRequest::new("brand1 model1 widget", LeafId(1)), InferRequest::new("anything", LeafId(999))];
+        let out = batch_infer(&model, &requests, &InferenceParams::with_k(5), 2);
+        assert!(!out[0].is_empty());
+        assert!(out[1].is_empty());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let model = model();
+        let out = batch_infer(&model, &[], &InferenceParams::with_k(5), 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_threads_means_all_cores() {
+        let model = model();
+        let requests = [InferRequest::new("brand1 model1 widget", LeafId(1))];
+        let out = batch_infer(&model, &requests, &InferenceParams::with_k(5), 0);
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Candidate pruning and ranking (paper Sec. III-E2 and III-F).
+//!
+//! Two pure, independently-testable pieces:
+//!
+//! * [`count_group_threshold`] — the III-F optimization: group candidates by
+//!   their redundancy count `c`, take groups from the largest `c` downward
+//!   until the requested number of predictions is covered, and keep the
+//!   entire threshold group.
+//! * [`sort_predictions`] — the ranking step: non-increasing alignment score
+//!   with exact fraction comparison; ties prefer higher Search count, then
+//!   lower Recall count (more buyers, fewer competing items → higher click
+//!   probability per item), then keyphrase id for determinism.
+
+use crate::alignment::Alignment;
+use crate::inference::Prediction;
+
+/// Given `group_sizes[c]` = number of candidate labels whose common-word
+/// count is exactly `c` (index 0 unused), returns the smallest count `c*`
+/// such that all labels with `count >= c*` number at least `k`.
+///
+/// If even including every group can't reach `k`, returns 1 (take
+/// everything). `group_sizes` may be any length; counts beyond the title's
+/// distinct token count are structurally zero.
+pub fn count_group_threshold(group_sizes: &[u32], k: usize) -> u32 {
+    let mut total: u64 = 0;
+    for c in (1..group_sizes.len()).rev() {
+        total += u64::from(group_sizes[c]);
+        if total >= k as u64 {
+            return c as u32;
+        }
+    }
+    1
+}
+
+/// Sorts predictions in ranking order under `alignment`:
+/// score desc → search count desc → recall count asc → keyphrase id asc.
+pub fn sort_predictions(preds: &mut [Prediction], alignment: Alignment, title_len: u32) {
+    preds.sort_unstable_by(|a, b| {
+        alignment
+            .cmp_scores(
+                (u32::from(b.matched), u32::from(b.label_len)),
+                (u32::from(a.matched), u32::from(a.label_len)),
+                title_len,
+            )
+            .then_with(|| b.search_count.cmp(&a.search_count))
+            .then_with(|| a.recall_count.cmp(&b.recall_count))
+            .then_with(|| a.keyphrase.cmp(&b.keyphrase))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(kp: u32, matched: u16, len: u16, s: u32, r: u32) -> Prediction {
+        Prediction { keyphrase: kp, matched, label_len: len, search_count: s, recall_count: r, title_len: 6 }
+    }
+
+    #[test]
+    fn threshold_takes_largest_groups_first() {
+        // counts: 3 labels with c=1, 2 with c=2, 1 with c=3.
+        let sizes = [0, 3, 2, 1];
+        assert_eq!(count_group_threshold(&sizes, 1), 3);
+        assert_eq!(count_group_threshold(&sizes, 2), 2);
+        assert_eq!(count_group_threshold(&sizes, 3), 2); // whole c=2 group
+        assert_eq!(count_group_threshold(&sizes, 4), 1);
+        assert_eq!(count_group_threshold(&sizes, 100), 1); // not enough: take all
+    }
+
+    #[test]
+    fn threshold_empty_histogram() {
+        assert_eq!(count_group_threshold(&[], 5), 1);
+        assert_eq!(count_group_threshold(&[0, 0, 0], 5), 1);
+    }
+
+    #[test]
+    fn ranking_order_lta_then_search_then_recall() {
+        // Figure 3 example after enumeration of the sample title:
+        // counts 2,2,3,2,1 for labels 10..14.
+        let mut preds = vec![
+            pred(10, 2, 2, 900, 120), // LTA 2/1 = 2.0
+            pred(11, 2, 2, 450, 300), // LTA 2.0, lower search
+            pred(12, 3, 3, 800, 700), // LTA 3/1 = 3.0  ← top
+            pred(13, 2, 3, 650, 800), // LTA 2/2 = 1.0
+            pred(14, 1, 3, 300, 900), // LTA 1/3
+        ];
+        sort_predictions(&mut preds, Alignment::Lta, 6);
+        let order: Vec<u32> = preds.iter().map(|p| p.keyphrase).collect();
+        assert_eq!(order, [12, 10, 11, 13, 14]);
+    }
+
+    #[test]
+    fn tie_break_prefers_low_recall() {
+        let mut preds = vec![pred(1, 2, 3, 500, 900), pred(2, 2, 3, 500, 100)];
+        sort_predictions(&mut preds, Alignment::Lta, 5);
+        assert_eq!(preds[0].keyphrase, 2);
+    }
+
+    #[test]
+    fn deterministic_on_full_tie() {
+        let mut preds = vec![pred(9, 1, 2, 5, 5), pred(3, 1, 2, 5, 5)];
+        sort_predictions(&mut preds, Alignment::Lta, 5);
+        assert_eq!(preds[0].keyphrase, 3);
+    }
+
+    #[test]
+    fn wmr_vs_lta_disagree_on_partial_match() {
+        // label A: c=2,|l|=2 → LTA 2.0, WMR 1.0
+        // label B: c=3,|l|=4 → LTA 1.5, WMR 0.75
+        // label C: c=4,|l|=6 → LTA 4/3, WMR 0.666
+        let mut by_lta = vec![pred(1, 2, 2, 0, 0), pred(2, 3, 4, 0, 0), pred(3, 4, 6, 0, 0)];
+        let mut by_wmr = by_lta.clone();
+        sort_predictions(&mut by_lta, Alignment::Lta, 8);
+        sort_predictions(&mut by_wmr, Alignment::Wmr, 8);
+        assert_eq!(by_lta[0].keyphrase, 1);
+        assert_eq!(by_wmr[0].keyphrase, 1);
+        // JAC prefers higher coverage of the union:
+        let mut by_jac = by_lta.clone();
+        sort_predictions(&mut by_jac, Alignment::Jac, 8);
+        // JAC: A=2/8, B=3/9, C=4/10 → C first.
+        assert_eq!(by_jac[0].keyphrase, 3);
+    }
+}

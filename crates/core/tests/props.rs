@@ -1,0 +1,191 @@
+//! Property-based tests for the GraphEx core.
+//!
+//! These pin the algorithmic invariants the paper's complexity and
+//! correctness arguments rest on, against randomly generated keyphrase
+//! universes.
+
+use graphex_core::{
+    Alignment, GraphExBuilder, GraphExConfig, InferenceParams, KeyphraseRecord, LeafId, Scratch,
+};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A small random vocabulary to force word overlap between phrases.
+fn word() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "audeze", "maxwell", "gaming", "headphones", "xbox", "wireless", "bluetooth", "case",
+        "charger", "usb", "cable", "pro", "max", "mini", "leather", "red",
+    ])
+    .prop_map(str::to_string)
+}
+
+fn phrase() -> impl Strategy<Value = String> {
+    prop::collection::vec(word(), 1..5).prop_map(|ws| ws.join(" "))
+}
+
+fn records() -> impl Strategy<Value = Vec<KeyphraseRecord>> {
+    prop::collection::vec(
+        (phrase(), 0u32..3, 1u32..1000, 1u32..1000)
+            .prop_map(|(text, leaf, s, r)| KeyphraseRecord::new(text, LeafId(leaf), s, r)),
+        1..40,
+    )
+}
+
+fn no_curation() -> GraphExConfig {
+    let mut c = GraphExConfig::default();
+    c.curation.min_search_count = 0;
+    c
+}
+
+/// Naive reference for the enumeration step: distinct-token set
+/// intersection per (normalized, stemmed) keyphrase.
+fn naive_counts(records: &[KeyphraseRecord], leaf: LeafId, title: &str) -> BTreeMap<String, usize> {
+    let tok = graphex_textkit::TokenizerBuilder::new().stemming(true).build();
+    let norm = graphex_textkit::Tokenizer::default();
+    let title_tokens: BTreeSet<String> = tok.tokenize(title).collect();
+    let mut out = BTreeMap::new();
+    for rec in records.iter().filter(|r| r.leaf == leaf) {
+        let normalized = norm.tokenize(&rec.text).collect::<Vec<_>>().join(" ");
+        if normalized.is_empty() {
+            continue;
+        }
+        let kp_tokens: BTreeSet<String> = tok.tokenize(&rec.text).collect();
+        let c = kp_tokens.intersection(&title_tokens).count();
+        if c > 0 {
+            // duplicates merge to one label; counts identical by construction
+            out.insert(normalized, c);
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Enumeration counts (`c = |T ∩ l|`) match the naive set-intersection
+    /// definition for every candidate, on every leaf.
+    #[test]
+    fn enumeration_matches_naive_dc(recs in records(), title_words in prop::collection::vec(word(), 1..8)) {
+        let title = title_words.join(" ");
+        let model = GraphExBuilder::new(no_curation()).add_records(recs.clone()).build().unwrap();
+        for leaf_num in 0u32..3 {
+            let leaf = LeafId(leaf_num);
+            if model.leaf_graph(leaf).is_none() { continue; }
+            let mut scratch = Scratch::new();
+            let params = InferenceParams { k: usize::MAX, alignment: None, keep_threshold_group: true };
+            let preds = model.infer(&title, leaf, &params, &mut scratch).unwrap();
+            let got: BTreeMap<String, usize> = preds
+                .iter()
+                .map(|p| (model.keyphrase_text(p.keyphrase).unwrap().to_string(), p.matched as usize))
+                .collect();
+            let want = naive_counts(&recs, leaf, &title);
+            prop_assert_eq!(got, want, "leaf {}", leaf_num);
+        }
+    }
+
+    /// Pruning + ranking never returns more than k when truncation is on,
+    /// and never returns fewer than min(k, #candidates).
+    #[test]
+    fn k_contract(recs in records(), title_words in prop::collection::vec(word(), 1..8), k in 1usize..10) {
+        let title = title_words.join(" ");
+        let model = GraphExBuilder::new(no_curation()).add_records(recs).build().unwrap();
+        let mut scratch = Scratch::new();
+        let all_params = InferenceParams { k: usize::MAX, alignment: None, keep_threshold_group: true };
+        for leaf in model.leaf_ids().collect::<Vec<_>>() {
+            let total = model.infer(&title, leaf, &all_params, &mut scratch).unwrap().len();
+            let preds = model.infer(&title, leaf, &InferenceParams::with_k(k), &mut scratch).unwrap();
+            prop_assert!(preds.len() <= k);
+            prop_assert_eq!(preds.len(), k.min(total));
+        }
+    }
+
+    /// With `keep_threshold_group`, the result set is count-downward-closed:
+    /// if a label with count c is returned, every candidate with count > c
+    /// is returned too (the paper's group semantics).
+    #[test]
+    fn threshold_group_is_downward_closed(recs in records(), title_words in prop::collection::vec(word(), 1..8), k in 1usize..6) {
+        let title = title_words.join(" ");
+        let model = GraphExBuilder::new(no_curation()).add_records(recs).build().unwrap();
+        let mut scratch = Scratch::new();
+        let grouped = InferenceParams { k, alignment: None, keep_threshold_group: true };
+        let all = InferenceParams { k: usize::MAX, alignment: None, keep_threshold_group: true };
+        for leaf in model.leaf_ids().collect::<Vec<_>>() {
+            let returned = model.infer(&title, leaf, &grouped, &mut scratch).unwrap();
+            let everything = model.infer(&title, leaf, &all, &mut scratch).unwrap();
+            let Some(min_returned) = returned.iter().map(|p| p.matched).min() else { continue };
+            let missing_higher = everything.iter().any(|p| {
+                p.matched > min_returned && !returned.iter().any(|q| q.keyphrase == p.keyphrase)
+            });
+            prop_assert!(!missing_higher, "dropped a higher-count group member");
+        }
+    }
+
+    /// Ranking is sorted: alignment scores are non-increasing, and within
+    /// equal scores search counts are non-increasing.
+    #[test]
+    fn ranking_is_sorted(recs in records(), title_words in prop::collection::vec(word(), 1..8)) {
+        let title = title_words.join(" ");
+        let model = GraphExBuilder::new(no_curation()).add_records(recs).build().unwrap();
+        let mut scratch = Scratch::new();
+        for leaf in model.leaf_ids().collect::<Vec<_>>() {
+            for alignment in Alignment::ALL {
+                let params = InferenceParams { k: 40, alignment: Some(alignment), keep_threshold_group: false };
+                let preds = model.infer(&title, leaf, &params, &mut scratch).unwrap();
+                for w in preds.windows(2) {
+                    let s0 = w[0].score(alignment);
+                    let s1 = w[1].score(alignment);
+                    prop_assert!(s0 >= s1 - 1e-12, "{alignment}: {s0} < {s1}");
+                    if (s0 - s1).abs() < 1e-12 {
+                        prop_assert!(w[0].search_count >= w[1].search_count);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serialization round-trips: the restored model produces identical
+    /// predictions on arbitrary titles.
+    #[test]
+    fn serialize_roundtrip(recs in records(), title_words in prop::collection::vec(word(), 1..8)) {
+        let title = title_words.join(" ");
+        let model = GraphExBuilder::new(no_curation()).add_records(recs).build().unwrap();
+        let bytes = graphex_core::serialize::to_bytes(&model);
+        let restored = graphex_core::serialize::from_bytes(&bytes).unwrap();
+        for leaf in model.leaf_ids().collect::<Vec<_>>() {
+            let a = model.infer_simple(&title, leaf, 20);
+            let b = restored.infer_simple(&title, leaf, 20);
+            let ta: Vec<&str> = a.iter().map(|p| model.keyphrase_text(p.keyphrase).unwrap()).collect();
+            let tb: Vec<&str> = b.iter().map(|p| restored.keyphrase_text(p.keyphrase).unwrap()).collect();
+            prop_assert_eq!(ta, tb);
+        }
+    }
+
+    /// Scratch reuse across many random calls never leaks state: a fresh
+    /// scratch gives the same answer as a heavily reused one.
+    #[test]
+    fn scratch_reuse_equivalence(recs in records(), titles in prop::collection::vec(prop::collection::vec(word(), 1..8), 1..10)) {
+        let model = GraphExBuilder::new(no_curation()).add_records(recs).build().unwrap();
+        let leaves: Vec<LeafId> = model.leaf_ids().collect();
+        let mut reused = Scratch::new();
+        let params = InferenceParams::with_k(15);
+        for words in &titles {
+            let title = words.join(" ");
+            for &leaf in &leaves {
+                let mut fresh = Scratch::new();
+                let a = model.infer(&title, leaf, &params, &mut reused).unwrap();
+                let b = model.infer(&title, leaf, &params, &mut fresh).unwrap();
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    /// LTA is strictly monotone in c for fixed |l| and strictly decreasing
+    /// in |l| for fixed c (the "risk" penalty).
+    #[test]
+    fn lta_monotonicity(c in 1u32..20, l in 1u32..20) {
+        prop_assume!(c <= l);
+        let lta = Alignment::Lta;
+        if c < l {
+            prop_assert!(lta.score(c + 1, l, 30) > lta.score(c, l, 30));
+        }
+        prop_assert!(lta.score(c, l + 1, 30) < lta.score(c, l, 30));
+    }
+}

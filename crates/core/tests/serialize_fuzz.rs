@@ -1,0 +1,63 @@
+//! Deserialization robustness: arbitrary and mutated byte streams must
+//! never panic, loop, or silently succeed — corrupt model files are an
+//! operational reality for anything loaded from disk.
+
+use graphex_core::{serialize, GraphExBuilder, GraphExConfig, KeyphraseRecord, LeafId};
+use proptest::prelude::*;
+
+fn sample_bytes() -> Vec<u8> {
+    let mut config = GraphExConfig::default();
+    config.curation.min_search_count = 0;
+    let model = GraphExBuilder::new(config)
+        .add_records(vec![
+            KeyphraseRecord::new("audeze maxwell", LeafId(7), 900, 120),
+            KeyphraseRecord::new("gaming headphones xbox", LeafId(7), 800, 700),
+            KeyphraseRecord::new("usb c charger", LeafId(9), 500, 50),
+        ])
+        .build()
+        .unwrap();
+    serialize::to_bytes(&model).to_vec()
+}
+
+proptest! {
+    /// Arbitrary garbage: always a clean error, never a panic.
+    #[test]
+    fn arbitrary_bytes_never_panic(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = serialize::from_bytes(&data);
+    }
+
+    /// Random single-byte mutations of a valid model: the checksum (or a
+    /// structural check) must reject every corruption.
+    #[test]
+    fn mutated_model_is_rejected(pos in 0usize..1000, xor in 1u8..=255) {
+        let mut bytes = sample_bytes();
+        let idx = pos % bytes.len();
+        bytes[idx] ^= xor;
+        prop_assert!(serialize::from_bytes(&bytes).is_err(), "mutation at {idx} accepted");
+    }
+
+    /// Random truncations: always rejected.
+    #[test]
+    fn truncations_are_rejected(cut in 0usize..1000) {
+        let bytes = sample_bytes();
+        let cut = cut % bytes.len(); // strictly shorter than the valid model
+        prop_assert!(serialize::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    /// Garbage appended after a valid model: rejected (trailing data means
+    /// the reader and writer disagree about the format).
+    #[test]
+    fn trailing_garbage_is_rejected(tail in prop::collection::vec(any::<u8>(), 1..64)) {
+        let mut bytes = sample_bytes();
+        bytes.extend_from_slice(&tail);
+        prop_assert!(serialize::from_bytes(&bytes).is_err());
+    }
+}
+
+#[test]
+fn valid_model_still_loads() {
+    // Guard against the fuzz tests passing because *everything* is rejected.
+    let bytes = sample_bytes();
+    let model = serialize::from_bytes(&bytes).expect("valid bytes load");
+    assert_eq!(model.num_keyphrases(), 3);
+}

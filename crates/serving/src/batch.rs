@@ -1,0 +1,182 @@
+//! Batch inference pipeline: the full pass and the daily differential.
+//!
+//! Paper Sec. IV-H: "The batch inference is done in two parts: 1) for all
+//! items in eBay, and 2) daily differential, i.e. the difference of all new
+//! items created/revised and then merged with the old existing items."
+//! Results land in the KV store the serving API reads.
+
+use crate::kv::KvStore;
+use graphex_core::parallel::{batch_infer, InferRequest};
+use graphex_core::{GraphExModel, InferenceParams, LeafId};
+
+/// A batch work item (owned so pipelines can be fed from any source).
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    pub id: u32,
+    pub title: String,
+    pub leaf: LeafId,
+}
+
+/// What a batch run did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchReport {
+    pub items_processed: usize,
+    pub items_with_recommendations: usize,
+    pub total_keyphrases: usize,
+    pub elapsed_ms: u128,
+}
+
+/// Batch executor over a GraphEx model writing into a [`KvStore`].
+pub struct BatchPipeline<'a> {
+    model: &'a GraphExModel,
+    store: &'a KvStore,
+    params: InferenceParams,
+    threads: usize,
+}
+
+impl<'a> BatchPipeline<'a> {
+    /// `threads = 0` uses all cores (the paper's batch node uses 70).
+    pub fn new(model: &'a GraphExModel, store: &'a KvStore, k: usize, threads: usize) -> Self {
+        Self { model, store, params: InferenceParams::with_k(k), threads }
+    }
+
+    /// Full pass over `items` ("for all items in eBay").
+    pub fn run_full(&self, items: &[BatchItem]) -> BatchReport {
+        self.run(items)
+    }
+
+    /// Differential pass ("all new items created/revised, merged with the
+    /// old existing items"): identical compute, but by contract callers pass
+    /// only the changed items. Existing entries for other items are left
+    /// untouched; changed items are overwritten (version bump).
+    pub fn run_differential(&self, changed: &[BatchItem]) -> BatchReport {
+        self.run(changed)
+    }
+
+    fn run(&self, items: &[BatchItem]) -> BatchReport {
+        let start = std::time::Instant::now();
+        let requests: Vec<InferRequest<'_>> =
+            items.iter().map(|i| InferRequest::new(&i.title, i.leaf)).collect();
+        let results = batch_infer(self.model, &requests, &self.params, self.threads);
+        let mut with_recs = 0usize;
+        let mut total = 0usize;
+        for (item, preds) in items.iter().zip(results) {
+            if preds.is_empty() {
+                continue;
+            }
+            with_recs += 1;
+            total += preds.len();
+            let texts: Vec<String> = preds
+                .iter()
+                .filter_map(|p| self.model.keyphrase_text(p.keyphrase))
+                .map(str::to_string)
+                .collect();
+            self.store.put(item.id, texts);
+        }
+        BatchReport {
+            items_processed: items.len(),
+            items_with_recommendations: with_recs,
+            total_keyphrases: total,
+            elapsed_ms: start.elapsed().as_millis(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphex_core::{GraphExBuilder, GraphExConfig, KeyphraseRecord};
+
+    fn model() -> GraphExModel {
+        let mut config = GraphExConfig::default();
+        config.curation.min_search_count = 0;
+        GraphExBuilder::new(config)
+            .add_records((0..20).map(|i| {
+                KeyphraseRecord::new(format!("brand{i} gadget model{i}"), LeafId(i % 4), 50 + i, 5)
+            }))
+            .build()
+            .unwrap()
+    }
+
+    fn items(n: u32) -> Vec<BatchItem> {
+        (0..n)
+            .map(|i| BatchItem {
+                id: i,
+                title: format!("brand{} gadget model{} pro", i % 20, i % 20),
+                leaf: LeafId(i % 4),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_batch_fills_store() {
+        let model = model();
+        let store = KvStore::new();
+        let pipeline = BatchPipeline::new(&model, &store, 10, 2);
+        let batch = items(50);
+        let report = pipeline.run_full(&batch);
+        assert_eq!(report.items_processed, 50);
+        assert_eq!(report.items_with_recommendations, 50);
+        assert_eq!(store.len(), 50);
+        assert!(report.total_keyphrases >= 50);
+        for item in &batch {
+            let recs = store.get(item.id).unwrap();
+            assert!(!recs.keyphrases.is_empty());
+        }
+    }
+
+    #[test]
+    fn differential_touches_only_changed() {
+        let model = model();
+        let store = KvStore::new();
+        let pipeline = BatchPipeline::new(&model, &store, 10, 2);
+        let batch = items(20);
+        pipeline.run_full(&batch);
+        let v_before: Vec<u32> = batch.iter().map(|i| store.get(i.id).unwrap().version).collect();
+
+        // Revise items 0 and 1.
+        let mut changed = vec![batch[0].clone(), batch[1].clone()];
+        changed[0].title = "brand3 gadget model3 deluxe".into();
+        changed[0].leaf = LeafId(3);
+        let report = pipeline.run_differential(&changed);
+        assert_eq!(report.items_processed, 2);
+
+        assert_eq!(store.get(0).unwrap().version, v_before[0] + 1);
+        assert_eq!(store.get(1).unwrap().version, v_before[1] + 1);
+        for item in &batch[2..] {
+            assert_eq!(store.get(item.id).unwrap().version, 1, "untouched item re-written");
+        }
+        // Revised title → revised keyphrases.
+        assert!(store.get(0).unwrap().keyphrases.iter().any(|k| k.contains("model3")));
+    }
+
+    #[test]
+    fn unknown_leaf_items_are_skipped_not_stored() {
+        let mut config = GraphExConfig::default();
+        config.curation.min_search_count = 0;
+        config.build_meta_fallback = false;
+        let model = GraphExBuilder::new(config)
+            .add_record(KeyphraseRecord::new("known phrase", LeafId(1), 10, 1))
+            .build()
+            .unwrap();
+        let store = KvStore::new();
+        let pipeline = BatchPipeline::new(&model, &store, 10, 1);
+        let report = pipeline.run_full(&[BatchItem {
+            id: 9,
+            title: "known phrase item".into(),
+            leaf: LeafId(99),
+        }]);
+        assert_eq!(report.items_with_recommendations, 0);
+        assert!(store.get(9).is_none());
+    }
+
+    #[test]
+    fn empty_batch_report() {
+        let model = model();
+        let store = KvStore::new();
+        let pipeline = BatchPipeline::new(&model, &store, 10, 0);
+        let report = pipeline.run_full(&[]);
+        assert_eq!(report.items_processed, 0);
+        assert_eq!(report.total_keyphrases, 0);
+    }
+}

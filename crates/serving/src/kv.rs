@@ -1,0 +1,157 @@
+//! Sharded in-memory key-value store (the NuKV stand-in).
+//!
+//! Item id → recommended keyphrases. Sharded `RwLock`s keep the batch
+//! writers and NRT writers from serializing behind one lock; readers (the
+//! serving API) take shared locks only.
+
+use graphex_textkit::FxHashMap;
+use parking_lot::RwLock;
+
+/// Number of shards; power of two so the shard pick is a mask.
+const SHARDS: usize = 16;
+
+/// The stored record for one item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredRecs {
+    pub keyphrases: Vec<String>,
+    /// Monotonic version (bumped on every overwrite; lets tests and
+    /// consumers detect refreshes).
+    pub version: u32,
+}
+
+/// Concurrent item → keyphrases store.
+#[derive(Debug)]
+pub struct KvStore {
+    shards: Vec<RwLock<FxHashMap<u32, StoredRecs>>>,
+}
+
+impl Default for KvStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KvStore {
+    pub fn new() -> Self {
+        Self { shards: (0..SHARDS).map(|_| RwLock::new(FxHashMap::default())).collect() }
+    }
+
+    #[inline]
+    fn shard(&self, item: u32) -> &RwLock<FxHashMap<u32, StoredRecs>> {
+        &self.shards[(item as usize) & (SHARDS - 1)]
+    }
+
+    /// Writes (or overwrites) an item's keyphrases, bumping the version.
+    pub fn put(&self, item: u32, keyphrases: Vec<String>) {
+        let mut shard = self.shard(item).write();
+        match shard.get_mut(&item) {
+            Some(existing) => {
+                existing.version += 1;
+                existing.keyphrases = keyphrases;
+            }
+            None => {
+                shard.insert(item, StoredRecs { keyphrases, version: 1 });
+            }
+        }
+    }
+
+    /// The serving read path.
+    pub fn get(&self, item: u32) -> Option<StoredRecs> {
+        self.shard(item).read().get(&item).cloned()
+    }
+
+    /// Number of items stored.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes an item (listing ended).
+    pub fn remove(&self, item: u32) -> bool {
+        self.shard(item).write().remove(&item).is_some()
+    }
+
+    /// Approximate stored bytes (keyphrase text only).
+    pub fn approx_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .values()
+                    .map(|r| r.keyphrases.iter().map(|k| k.len() + 8).sum::<usize>() + 8)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let kv = KvStore::new();
+        kv.put(7, vec!["a".into(), "b".into()]);
+        let got = kv.get(7).unwrap();
+        assert_eq!(got.keyphrases, ["a", "b"]);
+        assert_eq!(got.version, 1);
+        assert!(kv.get(8).is_none());
+    }
+
+    #[test]
+    fn overwrite_bumps_version() {
+        let kv = KvStore::new();
+        kv.put(7, vec!["a".into()]);
+        kv.put(7, vec!["b".into()]);
+        let got = kv.get(7).unwrap();
+        assert_eq!(got.keyphrases, ["b"]);
+        assert_eq!(got.version, 2);
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn remove_works() {
+        let kv = KvStore::new();
+        kv.put(1, vec!["x".into()]);
+        assert!(kv.remove(1));
+        assert!(!kv.remove(1));
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn spread_across_shards() {
+        let kv = KvStore::new();
+        for i in 0..1000 {
+            kv.put(i, vec![format!("kp{i}")]);
+        }
+        assert_eq!(kv.len(), 1000);
+        assert!(kv.approx_bytes() > 0);
+        for i in 0..1000 {
+            assert_eq!(kv.get(i).unwrap().keyphrases[0], format!("kp{i}"));
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let kv = std::sync::Arc::new(KvStore::new());
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let kv = kv.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u32 {
+                    let key = t * 1000 + i;
+                    kv.put(key, vec![format!("{key}")]);
+                    assert!(kv.get(key).is_some());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(kv.len(), 2000);
+    }
+}

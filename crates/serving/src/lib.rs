@@ -1,0 +1,28 @@
+//! # serving — the paper's Fig. 7 Batch/NRT serving architecture
+//!
+//! Sec. IV-H describes how GraphEx keyphrases reach sellers at eBay:
+//!
+//! * **Batch inference** on the Krylov ML platform — a full pass over all
+//!   items, plus a *daily differential* over created/revised items, merged
+//!   into **NuKV** (eBay's key-value store) and served through an inference
+//!   API.
+//! * **Near-real-time (NRT) inference** — item creation/revision events
+//!   flow through a Flink window (deduplication + feature enrichment) into
+//!   a Python scorer, so new listings get keyphrases within seconds.
+//!
+//! This crate reproduces that dataflow at process scale with the same
+//! moving parts: a sharded in-memory [`KvStore`] (NuKV), a
+//! [`BatchPipeline`] (full + differential batch), and an [`NrtService`]
+//! (event channel + dedup window + worker pool). The integration tests
+//! assert the property the architecture exists to provide: *batch and NRT
+//! agree* — an item served through either path carries the same keyphrases.
+
+pub mod api;
+pub mod batch;
+pub mod kv;
+pub mod nrt;
+
+pub use api::{ServeSource, ServeStats, Served, ServingApi};
+pub use batch::{BatchPipeline, BatchReport};
+pub use kv::KvStore;
+pub use nrt::{ItemEvent, NrtConfig, NrtService, NrtStats};

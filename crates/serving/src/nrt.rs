@@ -1,0 +1,261 @@
+//! Near-real-time inference service.
+//!
+//! Paper Sec. IV-H: "NRT serves items on an urgent basis, such as items
+//! newly created or revised by sellers … triggered by the event of new item
+//! creation or revision, behind a Flink processing window and feature
+//! enrichment."
+//!
+//! Reproduced as: an event channel (crossbeam), a worker thread that drains
+//! events into a **deduplication window** (multiple revisions of one item
+//! within a window collapse to the latest — the Flink-window behaviour),
+//! runs GraphEx inference, and writes to the KV store.
+
+use crate::kv::KvStore;
+use graphex_core::{GraphExModel, InferenceParams, LeafId, Scratch};
+use graphex_textkit::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A seller-side item lifecycle event.
+#[derive(Debug, Clone)]
+pub enum ItemEvent {
+    Created { id: u32, title: String, leaf: LeafId },
+    Revised { id: u32, title: String, leaf: LeafId },
+}
+
+impl ItemEvent {
+    fn into_parts(self) -> (u32, String, LeafId) {
+        match self {
+            ItemEvent::Created { id, title, leaf } | ItemEvent::Revised { id, title, leaf } => {
+                (id, title, leaf)
+            }
+        }
+    }
+}
+
+/// NRT tuning.
+#[derive(Debug, Clone)]
+pub struct NrtConfig {
+    /// Max events gathered into one processing window.
+    pub window_size: usize,
+    /// Max time to wait filling a window.
+    pub window_timeout: Duration,
+    /// Predictions per item.
+    pub k: usize,
+}
+
+impl Default for NrtConfig {
+    fn default() -> Self {
+        Self { window_size: 64, window_timeout: Duration::from_millis(20), k: 20 }
+    }
+}
+
+/// Counters exposed on shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NrtStats {
+    pub events_received: u64,
+    pub items_scored: u64,
+    /// Events collapsed by window deduplication.
+    pub deduplicated: u64,
+}
+
+/// Running NRT service handle.
+pub struct NrtService {
+    sender: Option<crossbeam::channel::Sender<ItemEvent>>,
+    worker: Option<std::thread::JoinHandle<()>>,
+    received: Arc<AtomicU64>,
+    scored: Arc<AtomicU64>,
+    deduped: Arc<AtomicU64>,
+}
+
+impl NrtService {
+    /// Starts the worker thread.
+    pub fn start(model: Arc<GraphExModel>, store: Arc<KvStore>, config: NrtConfig) -> Self {
+        let (sender, receiver) = crossbeam::channel::unbounded::<ItemEvent>();
+        let received = Arc::new(AtomicU64::new(0));
+        let scored = Arc::new(AtomicU64::new(0));
+        let deduped = Arc::new(AtomicU64::new(0));
+
+        let worker = {
+            let (scored, deduped) = (scored.clone(), deduped.clone());
+            std::thread::spawn(move || {
+                let mut scratch = Scratch::new();
+                let params = InferenceParams::with_k(config.k);
+                // item id → latest (title, leaf) inside the current window
+                let mut window: FxHashMap<u32, (String, LeafId)> = FxHashMap::default();
+                loop {
+                    window.clear();
+                    // Block for the first event; drain the rest of the
+                    // window without blocking past the timeout.
+                    match receiver.recv() {
+                        Ok(event) => {
+                            let (id, title, leaf) = event.into_parts();
+                            window.insert(id, (title, leaf));
+                        }
+                        Err(_) => break, // channel closed: shut down
+                    }
+                    let deadline = std::time::Instant::now() + config.window_timeout;
+                    while window.len() < config.window_size {
+                        let now = std::time::Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        match receiver.recv_timeout(deadline - now) {
+                            Ok(event) => {
+                                let (id, title, leaf) = event.into_parts();
+                                if window.insert(id, (title, leaf)).is_some() {
+                                    deduped.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Err(crossbeam::channel::RecvTimeoutError::Timeout) => break,
+                            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                        }
+                    }
+                    // Deterministic processing order within the window.
+                    let mut batch: Vec<(u32, String, LeafId)> =
+                        window.drain().map(|(id, (t, l))| (id, t, l)).collect();
+                    batch.sort_unstable_by_key(|&(id, _, _)| id);
+                    for (id, title, leaf) in batch {
+                        let preds =
+                            model.infer(&title, leaf, &params, &mut scratch).unwrap_or_default();
+                        if !preds.is_empty() {
+                            let texts: Vec<String> = preds
+                                .iter()
+                                .filter_map(|p| model.keyphrase_text(p.keyphrase))
+                                .map(str::to_string)
+                                .collect();
+                            store.put(id, texts);
+                        }
+                        scored.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        };
+
+        Self { sender: Some(sender), worker: Some(worker), received, scored, deduped }
+    }
+
+    /// Enqueues an event (non-blocking).
+    pub fn submit(&self, event: ItemEvent) {
+        self.received.fetch_add(1, Ordering::Relaxed);
+        if let Some(sender) = &self.sender {
+            // Receiver only disappears at shutdown; drop events after that.
+            let _ = sender.send(event);
+        }
+    }
+
+    /// Closes the channel, waits for the worker to drain, returns counters.
+    pub fn shutdown(mut self) -> NrtStats {
+        self.sender.take(); // close channel → worker exits after draining
+        if let Some(worker) = self.worker.take() {
+            worker.join().expect("NRT worker panicked");
+        }
+        NrtStats {
+            events_received: self.received.load(Ordering::Relaxed),
+            items_scored: self.scored.load(Ordering::Relaxed),
+            deduplicated: self.deduped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for NrtService {
+    fn drop(&mut self) {
+        self.sender.take();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphex_core::{GraphExBuilder, GraphExConfig, KeyphraseRecord};
+
+    fn model() -> Arc<GraphExModel> {
+        let mut config = GraphExConfig::default();
+        config.curation.min_search_count = 0;
+        Arc::new(
+            GraphExBuilder::new(config)
+                .add_records((0..10).map(|i| {
+                    KeyphraseRecord::new(format!("brand{i} widget model{i}"), LeafId(i % 2), 50, 5)
+                }))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn events_produce_stored_recommendations() {
+        let store = Arc::new(KvStore::new());
+        let service = NrtService::start(model(), store.clone(), NrtConfig::default());
+        for i in 0..20u32 {
+            service.submit(ItemEvent::Created {
+                id: i,
+                title: format!("brand{} widget model{}", i % 10, i % 10),
+                leaf: LeafId(i % 2),
+            });
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.events_received, 20);
+        assert_eq!(stats.items_scored as usize + stats.deduplicated as usize, 20);
+        assert_eq!(store.len(), 20);
+        for i in 0..20u32 {
+            assert!(!store.get(i).unwrap().keyphrases.is_empty());
+        }
+    }
+
+    #[test]
+    fn window_dedups_rapid_revisions() {
+        let store = Arc::new(KvStore::new());
+        // Large window + long timeout so all events land in one window.
+        let config = NrtConfig {
+            window_size: 100,
+            window_timeout: Duration::from_millis(300),
+            k: 10,
+        };
+        let service = NrtService::start(model(), store.clone(), config);
+        for rev in 0..10u32 {
+            service.submit(ItemEvent::Revised {
+                id: 7,
+                title: format!("brand{} widget model{}", rev % 10, rev % 10),
+                leaf: LeafId((rev % 10) % 2),
+            });
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.events_received, 10);
+        assert!(stats.deduplicated >= 8, "dedup too low: {}", stats.deduplicated);
+        // Final state reflects the *latest* revision.
+        let recs = store.get(7).unwrap();
+        assert!(recs.keyphrases.iter().any(|k| k.contains("model9")), "{recs:?}");
+        assert_eq!(recs.version, 1, "deduped revisions must write once");
+    }
+
+    #[test]
+    fn unknown_leaf_event_is_counted_but_not_stored() {
+        let mut config = GraphExConfig::default();
+        config.curation.min_search_count = 0;
+        config.build_meta_fallback = false;
+        let model = Arc::new(
+            GraphExBuilder::new(config)
+                .add_record(KeyphraseRecord::new("a phrase", LeafId(1), 10, 1))
+                .build()
+                .unwrap(),
+        );
+        let store = Arc::new(KvStore::new());
+        let service = NrtService::start(model, store.clone(), NrtConfig::default());
+        service.submit(ItemEvent::Created { id: 1, title: "a phrase thing".into(), leaf: LeafId(42) });
+        let stats = service.shutdown();
+        assert_eq!(stats.items_scored, 1);
+        assert!(store.get(1).is_none());
+    }
+
+    #[test]
+    fn shutdown_with_no_events() {
+        let store = Arc::new(KvStore::new());
+        let service = NrtService::start(model(), store, NrtConfig::default());
+        let stats = service.shutdown();
+        assert_eq!(stats, NrtStats { events_received: 0, items_scored: 0, deduplicated: 0 });
+    }
+}

@@ -1,0 +1,179 @@
+//! Tokenization of titles and keyphrases.
+//!
+//! Default scheme per the paper (Sec. III-C fn. 3): space-delimited tokens
+//! over a normalized string. Stemming is optional and off by default; the
+//! GraphEx builder turns it on for both keyphrases and titles so token
+//! identity stays consistent (the one invariant the paper requires).
+
+use crate::normalize::normalize_into;
+use crate::stem::stem_owned;
+
+/// Configurable tokenizer. Cheap to clone; construction does no work.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    stemming: bool,
+    max_token_len: usize,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        TokenizerBuilder::new().build()
+    }
+}
+
+/// Builder for [`Tokenizer`].
+#[derive(Debug, Clone)]
+pub struct TokenizerBuilder {
+    stemming: bool,
+    max_token_len: usize,
+}
+
+impl TokenizerBuilder {
+    pub fn new() -> Self {
+        Self { stemming: false, max_token_len: 64 }
+    }
+
+    /// Enables the light suffix stemmer of [`crate::stem`].
+    pub fn stemming(mut self, on: bool) -> Self {
+        self.stemming = on;
+        self
+    }
+
+    /// Tokens longer than this are truncated (defensive bound against
+    /// pathological inputs; real product tokens are far shorter).
+    pub fn max_token_len(mut self, len: usize) -> Self {
+        self.max_token_len = len.max(1);
+        self
+    }
+
+    pub fn build(self) -> Tokenizer {
+        Tokenizer { stemming: self.stemming, max_token_len: self.max_token_len }
+    }
+}
+
+impl Default for TokenizerBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tokenizer {
+    /// Tokenizes `text`, yielding owned normalized tokens.
+    ///
+    /// Owned tokens are the right interface here: every consumer immediately
+    /// interns them into a [`crate::Vocab`], and stemming can rewrite the
+    /// suffix so a borrowed iterator can't represent all outputs.
+    pub fn tokenize<'a>(&'a self, text: &'a str) -> TokenIter<'a> {
+        let mut normalized = String::new();
+        normalize_into(text, &mut normalized);
+        TokenIter { tokenizer: self, normalized, pos: 0 }
+    }
+
+    /// Tokenizes into a caller-provided buffer of token strings, reusing
+    /// both the buffer and its element allocations where possible.
+    pub fn tokenize_into(&self, text: &str, out: &mut Vec<String>) {
+        out.clear();
+        for tok in self.tokenize(text) {
+            out.push(tok);
+        }
+    }
+
+    fn finish_token(&self, raw: &str) -> String {
+        let clipped = if raw.len() > self.max_token_len {
+            // Truncate at a char boundary at or below the limit.
+            let mut end = self.max_token_len;
+            while !raw.is_char_boundary(end) {
+                end -= 1;
+            }
+            &raw[..end]
+        } else {
+            raw
+        };
+        if self.stemming {
+            stem_owned(clipped)
+        } else {
+            clipped.to_string()
+        }
+    }
+}
+
+/// Iterator over the tokens of one input string.
+pub struct TokenIter<'a> {
+    tokenizer: &'a Tokenizer,
+    normalized: String,
+    pos: usize,
+}
+
+impl Iterator for TokenIter<'_> {
+    type Item = String;
+
+    fn next(&mut self) -> Option<String> {
+        let rest = &self.normalized[self.pos..];
+        if rest.is_empty() {
+            return None;
+        }
+        match rest.find(' ') {
+            Some(idx) => {
+                let tok = &rest[..idx];
+                self.pos += idx + 1;
+                Some(self.tokenizer.finish_token(tok))
+            }
+            None => {
+                self.pos = self.normalized.len();
+                Some(self.tokenizer.finish_token(rest))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tokenization() {
+        let tok = Tokenizer::default();
+        let toks: Vec<String> = tok.tokenize("Audeze Maxwell gaming headphones for Xbox").collect();
+        assert_eq!(toks, ["audeze", "maxwell", "gaming", "headphones", "for", "xbox"]);
+    }
+
+    #[test]
+    fn stemming_unifies_plurals() {
+        let tok = TokenizerBuilder::new().stemming(true).build();
+        let title: Vec<String> = tok.tokenize("gaming headphones").collect();
+        let query: Vec<String> = tok.tokenize("gaming headphone").collect();
+        assert_eq!(title, query);
+    }
+
+    #[test]
+    fn empty_input() {
+        let tok = Tokenizer::default();
+        assert_eq!(tok.tokenize("").count(), 0);
+        assert_eq!(tok.tokenize("  ,,, ").count(), 0);
+    }
+
+    #[test]
+    fn long_token_truncated_on_char_boundary() {
+        let tok = TokenizerBuilder::new().max_token_len(4).build();
+        let toks: Vec<String> = tok.tokenize("ééééééé abc").collect();
+        assert_eq!(toks[0].len(), 4); // two 2-byte chars
+        assert_eq!(toks[1], "abc");
+    }
+
+    #[test]
+    fn tokenize_into_reuses_buffer() {
+        let tok = Tokenizer::default();
+        let mut buf = Vec::new();
+        tok.tokenize_into("a b c", &mut buf);
+        assert_eq!(buf, ["a", "b", "c"]);
+        tok.tokenize_into("d", &mut buf);
+        assert_eq!(buf, ["d"]);
+    }
+
+    #[test]
+    fn punctuation_becomes_boundaries() {
+        let tok = Tokenizer::default();
+        let toks: Vec<String> = tok.tokenize("wi-fi 6E (tri-band)").collect();
+        assert_eq!(toks, ["wi", "fi", "6e", "tri", "band"]);
+    }
+}

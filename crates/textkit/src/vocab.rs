@@ -1,0 +1,146 @@
+//! String interning.
+//!
+//! Maps strings to dense `u32` ids and back. Used for the global token
+//! vocabulary and the global keyphrase table; all cross-crate identifiers in
+//! the workspace are interned ids, never strings (paper Sec. III-F).
+
+use crate::fxhash::FxHashMap;
+
+/// Dense id of an interned string.
+pub type TokenId = u32;
+
+/// Append-only string interner.
+///
+/// Ids are assigned in first-seen order starting at 0, so they can index
+/// plain `Vec`s in downstream structures. Lookup is O(1) amortized; resolve
+/// is O(1).
+#[derive(Debug, Default, Clone)]
+pub struct Vocab {
+    map: FxHashMap<Box<str>, TokenId>,
+    strings: Vec<Box<str>>,
+}
+
+impl Vocab {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            map: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+            strings: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Interns `s`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, s: impl AsRef<str>) -> TokenId {
+        let s = s.as_ref();
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = u32::try_from(self.strings.len()).expect("vocab overflow: > u32::MAX strings");
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, id);
+        id
+    }
+
+    /// Id of `s` if it was interned before.
+    pub fn get(&self, s: impl AsRef<str>) -> Option<TokenId> {
+        self.map.get(s.as_ref()).copied()
+    }
+
+    /// The string for `id`, if valid.
+    pub fn resolve(&self, id: TokenId) -> Option<&str> {
+        self.strings.get(id as usize).map(|s| &**s)
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates `(id, string)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TokenId, &str)> {
+        self.strings.iter().enumerate().map(|(i, s)| (i as TokenId, &**s))
+    }
+
+    /// Approximate heap footprint in bytes (for model-size accounting,
+    /// paper Fig. 6b).
+    pub fn heap_bytes(&self) -> usize {
+        let strings: usize = self.strings.iter().map(|s| s.len()).sum();
+        // map stores cloned boxes: count their bytes + entry overhead.
+        strings * 2 + self.strings.len() * (std::mem::size_of::<Box<str>>() + 16)
+    }
+}
+
+impl std::ops::Index<TokenId> for Vocab {
+    type Output = str;
+
+    fn index(&self, id: TokenId) -> &str {
+        self.resolve(id).expect("invalid TokenId")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.intern("headphones");
+        let b = v.intern("headphones");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut v = Vocab::new();
+        assert_eq!(v.intern("a"), 0);
+        assert_eq!(v.intern("b"), 1);
+        assert_eq!(v.intern("c"), 2);
+        assert_eq!(v.intern("a"), 0);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut v = Vocab::new();
+        let words = ["audeze", "maxwell", "gaming", "headphones"];
+        let ids: Vec<TokenId> = words.iter().map(|w| v.intern(w)).collect();
+        for (w, id) in words.iter().zip(&ids) {
+            assert_eq!(v.resolve(*id), Some(*w));
+            assert_eq!(v.get(w), Some(*id));
+        }
+        assert_eq!(v.resolve(99), None);
+        assert_eq!(v.get("absent"), None);
+    }
+
+    #[test]
+    fn index_op() {
+        let mut v = Vocab::new();
+        let id = v.intern("xbox");
+        assert_eq!(&v[id], "xbox");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid TokenId")]
+    fn index_op_panics_on_bad_id() {
+        let v = Vocab::new();
+        let _ = &v[0];
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut v = Vocab::new();
+        v.intern("x");
+        v.intern("y");
+        let collected: Vec<(u32, String)> = v.iter().map(|(i, s)| (i, s.to_string())).collect();
+        assert_eq!(collected, vec![(0, "x".to_string()), (1, "y".to_string())]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for the text substrate.
+
+use graphex_textkit::{normalize_into, stem, Tokenizer, TokenizerBuilder, Vocab};
+use proptest::prelude::*;
+
+proptest! {
+    /// Normalization output never contains uppercase ASCII, doubled spaces,
+    /// or edge spaces — the contract `split(' ')` tokenization relies on.
+    #[test]
+    fn normalize_invariants(input in ".{0,200}") {
+        let mut out = String::new();
+        normalize_into(&input, &mut out);
+        prop_assert!(!out.bytes().any(|b| b.is_ascii_uppercase()));
+        prop_assert!(!out.contains("  "));
+        prop_assert!(!out.starts_with(' '));
+        prop_assert!(!out.ends_with(' '));
+    }
+
+    /// Normalization is idempotent.
+    #[test]
+    fn normalize_idempotent(input in ".{0,200}") {
+        let mut once = String::new();
+        normalize_into(&input, &mut once);
+        let mut twice = String::new();
+        normalize_into(&once, &mut twice);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The stemmer only ever removes a suffix (borrowed variant), so the
+    /// stem is always a prefix of the word.
+    #[test]
+    fn stem_is_prefix(word in "[a-z]{1,20}") {
+        let s = stem(&word);
+        prop_assert!(word.starts_with(s));
+        prop_assert!(!s.is_empty());
+    }
+
+    /// Tokenizing the space-join of the tokens reproduces the tokens
+    /// (tokenization is a projection).
+    #[test]
+    fn tokenize_projection(input in "[ a-z0-9,.!-]{0,200}") {
+        let tok = Tokenizer::default();
+        let first: Vec<String> = tok.tokenize(&input).collect();
+        let rejoined = first.join(" ");
+        let second: Vec<String> = tok.tokenize(&rejoined).collect();
+        prop_assert_eq!(first, second);
+    }
+
+    /// Title/query token identity: any word sequence tokenizes identically
+    /// whether it arrives as a title or as a keyphrase (same tokenizer).
+    #[test]
+    fn consistent_identity_with_stemming(words in prop::collection::vec("[a-z]{2,10}", 1..8)) {
+        let tok = TokenizerBuilder::new().stemming(true).build();
+        let joined = words.join(" ");
+        let a: Vec<String> = tok.tokenize(&joined).collect();
+        let b: Vec<String> = tok.tokenize(&joined.to_uppercase()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Vocab: interning any sequence and resolving returns the originals.
+    #[test]
+    fn vocab_roundtrip(words in prop::collection::vec("[a-z0-9]{1,12}", 0..50)) {
+        let mut v = Vocab::new();
+        let ids: Vec<u32> = words.iter().map(|w| v.intern(w)).collect();
+        for (w, id) in words.iter().zip(&ids) {
+            prop_assert_eq!(v.resolve(*id), Some(w.as_str()));
+        }
+        // Dense: vocabulary size equals number of distinct words.
+        let distinct: std::collections::HashSet<_> = words.iter().collect();
+        prop_assert_eq!(v.len(), distinct.len());
+    }
+}

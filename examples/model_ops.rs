@@ -1,0 +1,80 @@
+//! Model operations: the production lifecycle of Sec. IV-G/IV-H — build,
+//! persist, reload, daily refresh, full + differential batch, and NRT
+//! serving through the KV store.
+//!
+//! ```bash
+//! cargo run --release -p graphex-suite --example model_ops
+//! ```
+
+use graphex_core::{serialize, GraphExBuilder, GraphExConfig, LeafId};
+use graphex_marketsim::{CategoryDataset, CategorySpec};
+use graphex_serving::batch::BatchItem;
+use graphex_serving::{BatchPipeline, ItemEvent, KvStore, NrtConfig, NrtService};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let ds = CategoryDataset::generate(CategorySpec::tiny(0xD0D0));
+
+    // --- construct + persist (the "daily model refresh") ------------------
+    let mut config = GraphExConfig::default();
+    config.curation.min_search_count = 2;
+    let t0 = Instant::now();
+    let model = GraphExBuilder::new(config)
+        .add_records(ds.keyphrase_records())
+        .build()
+        .expect("build");
+    println!("construction: {:?} ({} keyphrases)", t0.elapsed(), model.num_keyphrases());
+
+    let path = std::env::temp_dir().join("graphex_model_ops.gexm");
+    serialize::save_to(&model, &path).expect("save");
+    println!("saved: {} bytes → {}", model.size_bytes(), path.display());
+    let model = serialize::load_from(&path).expect("load");
+    println!("reloaded OK (alignment {})", model.alignment());
+    std::fs::remove_file(&path).ok();
+
+    // --- full batch over the catalog --------------------------------------
+    let store = KvStore::new();
+    let pipeline = BatchPipeline::new(&model, &store, 20, 0);
+    let items: Vec<BatchItem> = ds
+        .marketplace
+        .items
+        .iter()
+        .map(|i| BatchItem { id: i.id, title: i.title.clone(), leaf: i.leaf })
+        .collect();
+    let report = pipeline.run_full(&items);
+    println!(
+        "full batch: {} items in {} ms ({} with recommendations)",
+        report.items_processed, report.elapsed_ms, report.items_with_recommendations
+    );
+
+    // --- daily differential: two items get revised -------------------------
+    let mut revised = vec![items[0].clone(), items[1].clone()];
+    revised[0].title = format!("{} premium edition", revised[0].title);
+    let diff = pipeline.run_differential(&revised);
+    println!("differential batch: {} items in {} ms", diff.items_processed, diff.elapsed_ms);
+    println!("item 0 now at version {}", store.get(0).map(|r| r.version).unwrap_or_default());
+
+    // --- NRT path for a just-created listing ------------------------------
+    let model = Arc::new(model);
+    let nrt_store = Arc::new(KvStore::new());
+    let service = NrtService::start(model.clone(), nrt_store.clone(), NrtConfig::default());
+    let new_item = &ds.marketplace.items[7];
+    service.submit(ItemEvent::Created {
+        id: 9_000_001,
+        title: new_item.title.clone(),
+        leaf: new_item.leaf,
+    });
+    let stats = service.shutdown();
+    let recs = nrt_store.get(9_000_001).map(|r| r.keyphrases).unwrap_or_default();
+    println!(
+        "NRT: {} event(s) → {} keyphrases for the new listing, e.g. {:?}",
+        stats.events_received,
+        recs.len(),
+        recs.first().map(String::as_str).unwrap_or("-"),
+    );
+
+    // Unknown leaf? Falls back to the meta-category graph (never a panic).
+    let fallback = model.infer_simple(&new_item.title, LeafId(u32::MAX), 5);
+    println!("fallback-graph inference for an unknown leaf: {} keyphrases", fallback.len());
+}

@@ -1,0 +1,116 @@
+//! Serving-architecture integration: the batch path and the NRT path must
+//! produce identical recommendations for identical items (the invariant
+//! that makes the Fig. 7 split safe to operate).
+
+use graphex_serving::batch::BatchItem;
+use graphex_serving::{BatchPipeline, ItemEvent, KvStore, NrtConfig, NrtService};
+use graphex_suite::{tiny_dataset, tiny_model};
+use std::sync::Arc;
+
+#[test]
+fn batch_and_nrt_agree_item_by_item() {
+    let ds = tiny_dataset(0x5C1);
+    let model = Arc::new(tiny_model(&ds));
+
+    let items: Vec<BatchItem> = ds
+        .marketplace
+        .items
+        .iter()
+        .take(200)
+        .map(|i| BatchItem { id: i.id, title: i.title.clone(), leaf: i.leaf })
+        .collect();
+
+    // Batch path.
+    let batch_store = KvStore::new();
+    BatchPipeline::new(&model, &batch_store, 15, 4).run_full(&items);
+
+    // NRT path over the same items (same k as the batch path).
+    let nrt_store = Arc::new(KvStore::new());
+    let service = NrtService::start(
+        model.clone(),
+        nrt_store.clone(),
+        NrtConfig { k: 15, ..NrtConfig::default() },
+    );
+    for item in &items {
+        service.submit(ItemEvent::Created { id: item.id, title: item.title.clone(), leaf: item.leaf });
+    }
+    service.shutdown();
+
+    let mut compared = 0usize;
+    for item in &items {
+        match (batch_store.get(item.id), nrt_store.get(item.id)) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.keyphrases, b.keyphrases, "divergence on item {}", item.id);
+                compared += 1;
+            }
+            (None, None) => {} // both paths skipped it (no candidates)
+            (a, b) => panic!("paths disagree on item {} presence: {:?} vs {:?}", item.id, a.is_some(), b.is_some()),
+        }
+    }
+    assert!(compared > 100, "too few comparable items: {compared}");
+}
+
+#[test]
+fn differential_refresh_after_revision() {
+    let ds = tiny_dataset(0x5C2);
+    let model = Arc::new(tiny_model(&ds));
+    let store = KvStore::new();
+    let pipeline = BatchPipeline::new(&model, &store, 15, 2);
+
+    let mut items: Vec<BatchItem> = ds
+        .marketplace
+        .items
+        .iter()
+        .take(50)
+        .map(|i| BatchItem { id: i.id, title: i.title.clone(), leaf: i.leaf })
+        .collect();
+    pipeline.run_full(&items);
+    let before = store.get(items[0].id);
+
+    // Seller revises item 0's title to a different product in the same leaf.
+    let donor = ds
+        .marketplace
+        .items
+        .iter()
+        .find(|i| i.leaf == items[0].leaf && i.product != ds.marketplace.items[items[0].id as usize].product)
+        .expect("another product in the leaf");
+    items[0].title = donor.title.clone();
+    pipeline.run_differential(&items[..1]);
+    let after = store.get(items[0].id);
+
+    match (before, after) {
+        (Some(b), Some(a)) => {
+            assert!(a.version > b.version, "version must bump on refresh");
+            assert_ne!(a.keyphrases, b.keyphrases, "revision should change recommendations");
+        }
+        _ => panic!("item lost from store"),
+    }
+}
+
+#[test]
+fn nrt_survives_event_burst_with_rapid_revisions() {
+    let ds = tiny_dataset(0x5C3);
+    let model = Arc::new(tiny_model(&ds));
+    let store = Arc::new(KvStore::new());
+    let service = NrtService::start(
+        model,
+        store.clone(),
+        NrtConfig { window_size: 32, window_timeout: std::time::Duration::from_millis(5), k: 10 },
+    );
+    // 1000 events over 100 items: heavy revision churn.
+    for round in 0..10u32 {
+        for item in ds.marketplace.items.iter().take(100) {
+            service.submit(ItemEvent::Revised {
+                id: item.id,
+                title: format!("{} rev{round}", item.title),
+                leaf: item.leaf,
+            });
+        }
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.events_received, 1000);
+    assert_eq!(stats.items_scored + stats.deduplicated, 1000);
+    // All 100 items end up served, each at the latest revision processed.
+    let served = (0..100u32).filter(|&i| store.get(i).is_some()).count();
+    assert!(served >= 95, "served only {served}/100 after burst");
+}
