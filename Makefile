@@ -1,0 +1,29 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# three gates: build, test, doc.
+
+CARGO ?= cargo
+
+.PHONY: build test doc bench-smoke bench ci
+
+# Tier-1 gate, part 1.
+build:
+	$(CARGO) build --release
+
+# Tier-1 gate, part 2: unit + integration + property + doc tests.
+test:
+	$(CARGO) test -q
+
+# Rustdoc with warnings promoted to errors (kept warning-free).
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --workspace --no-deps
+
+# Every criterion bench body exactly once — compile + run sanity, no timing.
+bench-smoke:
+	$(CARGO) bench -p graphex-bench -- --test
+
+# The real (wall-clock) bench suite.
+bench:
+	$(CARGO) bench -p graphex-bench
+
+# Everything CI checks, in CI order.
+ci: build test doc

@@ -1,4 +1,4 @@
-//! Graphite: the graph-based XMC predecessor of GraphEx (paper ref. [6]).
+//! Graphite: the graph-based XMC predecessor of GraphEx (paper ref. \[6\]).
 //!
 //! Graphite maps words/tokens → training items, then items → the labels
 //! (clicked queries) associated with them, both as bipartite graphs; it

@@ -21,6 +21,21 @@ pub fn figure3_records() -> (LeafId, Vec<KeyphraseRecord>) {
 }
 
 /// A GraphEx model over the Figure 3 set (no curation threshold).
+///
+/// This is the paper's canonical worked example: for the title
+/// *"Audeze Maxwell gaming headphones for Xbox"*, the fully-matched
+/// keyphrase ranks first (LTA 3/1 = 3.0) and the two 2-token matches are
+/// ordered by search count.
+///
+/// ```
+/// use graphex_suite::figure3_model;
+///
+/// let (leaf, model) = figure3_model();
+/// let preds = model.infer_simple("Audeze Maxwell gaming headphones for Xbox", leaf, 3);
+/// let texts: Vec<&str> =
+///     preds.iter().map(|p| model.keyphrase_text(p.keyphrase).unwrap()).collect();
+/// assert_eq!(texts, ["gaming headphones xbox", "audeze maxwell", "audeze headphones"]);
+/// ```
 pub fn figure3_model() -> (LeafId, GraphExModel) {
     let (leaf, records) = figure3_records();
     let mut config = GraphExConfig::default();
@@ -47,6 +62,17 @@ pub fn tiny_model(ds: &CategoryDataset) -> GraphExModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Pins the paper's Figure 3 ranking end to end: full match first by
+    /// LTA, then the two 2-token matches ordered by search count.
+    #[test]
+    fn figure3_top3_matches_paper() {
+        let (leaf, model) = figure3_model();
+        let preds = model.infer_simple("Audeze Maxwell gaming headphones for Xbox", leaf, 3);
+        let texts: Vec<&str> =
+            preds.iter().map(|p| model.keyphrase_text(p.keyphrase).unwrap()).collect();
+        assert_eq!(texts, ["gaming headphones xbox", "audeze maxwell", "audeze headphones"]);
+    }
 
     #[test]
     fn fixtures_build() {

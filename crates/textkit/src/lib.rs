@@ -7,7 +7,7 @@
 //!
 //! * [`Tokenizer`] — configurable normalization + whitespace tokenization
 //!   (lowercasing, punctuation stripping, optional stemming).
-//! * [`stem`] — a light rule-based English stemmer standing in for the
+//! * [`stem()`] — a light rule-based English stemmer standing in for the
 //!   proprietary stemming function mentioned in Sec. IV-F1 of the paper.
 //! * [`Vocab`] — a string interner mapping tokens/keyphrases to dense `u32`
 //!   ids so the hot paths never touch strings (paper Sec. III-F: "words and

@@ -33,7 +33,7 @@ impl TokenizerBuilder {
         Self { stemming: false, max_token_len: 64 }
     }
 
-    /// Enables the light suffix stemmer of [`crate::stem`].
+    /// Enables the light suffix stemmer of [`crate::stem()`].
     pub fn stemming(mut self, on: bool) -> Self {
         self.stemming = on;
         self

@@ -1,0 +1,253 @@
+//! Offline API-subset shim of `criterion`.
+//!
+//! Provides `criterion_group!` / `criterion_main!`, benchmark groups,
+//! [`BenchmarkId`], [`Throughput`], and a wall-clock [`Bencher`]. Results
+//! are simple mean-per-iteration lines on stdout — no statistics, plots,
+//! or baselines. Passing `--test` (or setting `CRITERION_TEST_MODE=1`)
+//! runs every benchmark body exactly once, which is what the repo's
+//! `bench-smoke` target uses.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_TEST_MODE").is_some_and(|v| v == "1");
+        Self { test_mode, default_sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for drop-in compatibility; CLI args are read in `default`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id.0, self.test_mode, self.default_sample_size, None, f);
+        self
+    }
+}
+
+/// A named benchmark identifier (plain string under the hood).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Work-per-iteration hint; reported as a rate alongside the mean time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measurement iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        let samples = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        run_one(&full, self.criterion.test_mode, samples, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (all reporting already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to benchmark closures.
+pub struct Bencher {
+    /// `0` = run the body once, untimed (test mode).
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the total elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.iters == 0 {
+            black_box(routine());
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_one<F>(name: &str, test_mode: bool, samples: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if test_mode {
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("{name}: ok (test mode)");
+        return;
+    }
+
+    // Warmup + calibration: time one iteration to pick a sample count
+    // that keeps each benchmark around ~1s wall clock.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let budget = Duration::from_millis(1000);
+    let fit = (budget.as_nanos() / per_iter.as_nanos().max(1)) as u64;
+    let iters = fit.clamp(1, samples as u64 * 100);
+
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    let mean_ns = b.elapsed.as_nanos() as f64 / iters as f64;
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (mean_ns / 1e9);
+            println!("{name}: {} ns/iter ({rate:.0} elem/s, {iters} iters)", fmt_ns(mean_ns));
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (mean_ns / 1e9) / (1024.0 * 1024.0);
+            println!("{name}: {} ns/iter ({rate:.1} MiB/s, {iters} iters)", fmt_ns(mean_ns));
+        }
+        None => println!("{name}: {} ns/iter ({iters} iters)", fmt_ns(mean_ns)),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Collects benchmark functions into one group runner, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        // Force test mode so this stays O(1).
+        let mut criterion = Criterion { test_mode: true, default_sample_size: 10 };
+        let mut calls = 0u32;
+        {
+            let mut group = criterion.benchmark_group("shim");
+            group.sample_size(10).throughput(Throughput::Elements(4));
+            group.bench_function("a", |b| b.iter(|| calls += 1));
+            group.bench_function(BenchmarkId::from_parameter(2), |b| b.iter(|| calls += 1));
+            group.finish();
+        }
+        assert_eq!(calls, 2, "test mode must run each body exactly once");
+    }
+
+    #[test]
+    fn measured_mode_times_iterations() {
+        let mut criterion = Criterion { test_mode: false, default_sample_size: 3 };
+        let mut calls = 0u64;
+        criterion.bench_function("count", |b| b.iter(|| calls += 1));
+        // warmup once + measured batch at least once more
+        assert!(calls >= 2, "expected warmup + measurement, got {calls}");
+    }
+}

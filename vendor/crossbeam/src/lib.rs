@@ -1,0 +1,110 @@
+//! Offline API-subset shim of `crossbeam`.
+//!
+//! * [`channel`] — unbounded MPSC channel over `std::sync::mpsc` (the
+//!   workspace uses a single consumer, so MPMC semantics are not needed).
+//! * [`thread`] — scoped threads over `std::thread::scope`, returning
+//!   `Err` on worker panic like crossbeam does.
+
+pub mod channel {
+    //! Unbounded channel with crossbeam's names over `std::sync::mpsc`.
+
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender};
+
+    /// Creates an unbounded channel (`std::sync::mpsc::channel`).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with crossbeam's closure signature: the spawned
+    //! closure receives a scope handle argument (callers here ignore it).
+
+    use std::any::Any;
+
+    /// Handle passed to [`Scope::spawn`] closures. Nested spawning is not
+    /// supported by the shim; no caller in this workspace uses it.
+    pub struct NestedScope(());
+
+    /// Scope handle for spawning workers that may borrow from the caller.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. The closure's argument mirrors
+        /// crossbeam's nested-scope handle and can be ignored (`|_| ...`).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(&NestedScope(())))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all are joined before returning. A panicking worker makes
+    /// the result `Err` with the panic payload (crossbeam semantics).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_roundtrip_and_disconnect() {
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        drop(tx);
+        assert!(rx.recv().is_err(), "closed channel must error");
+    }
+
+    #[test]
+    fn recv_timeout_variants() {
+        use super::channel::RecvTimeoutError;
+        use std::time::Duration;
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn scope_joins_borrowing_workers() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut results = vec![0u64; 2];
+        super::thread::scope(|scope| {
+            for (chunk, out) in data.chunks(2).zip(results.iter_mut()) {
+                scope.spawn(move |_| {
+                    *out = chunk.iter().sum();
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(results, [3, 7]);
+    }
+
+    #[test]
+    fn scope_reports_worker_panic() {
+        let r = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("worker down"));
+        });
+        assert!(r.is_err());
+    }
+}

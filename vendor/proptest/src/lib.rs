@@ -1,0 +1,463 @@
+//! Offline API-subset shim of `proptest`.
+//!
+//! Supports the forms this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`],
+//! * [`Strategy`] with `prop_map`, integer/float range strategies, tuple
+//!   strategies, [`collection::vec`], [`sample::select`], [`any`], and a
+//!   regex-subset string strategy (`"[a-z]{1,20}"`-style patterns).
+//!
+//! No shrinking: a failing case panics with the generated inputs'
+//! `Debug` left to the assertion message. Runs are deterministic — the
+//! RNG is seeded from the property function's name, so a failure
+//! reproduces on re-run.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+pub mod strategy;
+pub use strategy::Strategy;
+
+/// Run-loop configuration (subset: case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// The RNG driving generation; deterministic per property name.
+pub type TestRng = SmallRng;
+
+/// Seeds the per-property RNG from the property's name (FNV-1a), so
+/// every `cargo test` run explores the same cases.
+pub fn new_rng(property_name: &str) -> TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in property_name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    TestRng::seed_from_u64(hash)
+}
+
+/// `any::<T>()` — the canonical strategy for `T` (subset of types).
+pub fn any<T: Arbitrary>() -> arbitrary::AnyStrategy<T> {
+    arbitrary::AnyStrategy(std::marker::PhantomData)
+}
+
+/// Types with a canonical [`any`] strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rand::RngCore::next_u64(rng) & 1 == 1
+    }
+}
+
+pub mod arbitrary {
+    use super::{Arbitrary, Strategy, TestRng};
+
+    /// Strategy returned by [`super::any`].
+    pub struct AnyStrategy<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! `prop::collection::vec` and the size-range conversions it needs.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub min: usize,
+        /// Inclusive maximum.
+        pub max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(element, 1..8)` — a vector of `element` samples.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! `prop::sample::select`.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy yielding a uniformly chosen clone of one option.
+    pub struct Select<T>(Vec<T>);
+
+    /// `select(options)` — one of the given values, uniformly.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample_value(&self, rng: &mut TestRng) -> T {
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+}
+
+// ---- range strategies --------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// ---- regex-subset string strategy --------------------------------------
+
+/// Patterns supported: a sequence of atoms, each `.`, a `[...]` class
+/// (ranges, literals, literal `-` last), or a literal character, with an
+/// optional `{n}` / `{m,n}` repetition. Covers the patterns used by this
+/// workspace's tests (e.g. `"[a-z]{1,20}"`, `".{0,200}"`).
+impl Strategy for str {
+    type Value = String;
+    fn sample_value(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+mod pattern {
+    use super::TestRng;
+    use rand::Rng;
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        /// `.` — any char (mostly printable ASCII, occasionally any scalar).
+        Dot,
+        /// `[...]` — explicit choice set, expanded.
+        Class(Vec<char>),
+        /// A literal character.
+        Literal(char),
+    }
+
+    #[derive(Debug, Clone)]
+    struct Piece {
+        atom: Atom,
+        min: u32,
+        max: u32,
+    }
+
+    pub(super) fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let pieces = parse(pattern);
+        let mut out = String::new();
+        for piece in &pieces {
+            let reps = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..reps {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+
+    fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Dot => {
+                if rng.gen_bool(0.9) {
+                    // printable ASCII
+                    char::from(rng.gen_range(0x20u8..0x7F))
+                } else {
+                    // any scalar value, skipping the surrogate gap
+                    loop {
+                        if let Some(c) = char::from_u32(rng.gen_range(0u32..0x11_0000)) {
+                            break c;
+                        }
+                    }
+                }
+            }
+            Atom::Class(chars) => chars[rng.gen_range(0..chars.len())],
+            Atom::Literal(c) => *c,
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::Dot,
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let c = chars.next().unwrap_or_else(|| {
+                            panic!("unterminated character class in pattern {pattern:?}")
+                        });
+                        match c {
+                            ']' => break,
+                            '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                                let lo = prev.take().expect("range needs a start");
+                                let hi = chars.next().expect("range needs an end");
+                                for v in lo as u32..=hi as u32 {
+                                    if let Some(ch) = char::from_u32(v) {
+                                        set.push(ch);
+                                    }
+                                }
+                            }
+                            other => {
+                                if let Some(p) = prev.take() {
+                                    set.push(p);
+                                }
+                                prev = Some(other);
+                            }
+                        }
+                    }
+                    if let Some(p) = prev.take() {
+                        set.push(p);
+                    }
+                    assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+                    Atom::Class(set)
+                }
+                '\\' => Atom::Literal(
+                    chars.next().unwrap_or_else(|| panic!("dangling escape in {pattern:?}")),
+                ),
+                other => Atom::Literal(other),
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("bad repetition lower bound"),
+                        hi.parse().expect("bad repetition upper bound"),
+                    ),
+                    None => {
+                        let n = spec.parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+}
+
+/// The prelude: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+// ---- macros ------------------------------------------------------------
+
+/// Defines property tests. Each body runs `config.cases` times with
+/// fresh random inputs; assertion macros panic on failure (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::new_rng(stringify!($name));
+                for _case in 0..config.cases {
+                    $( let $arg = $crate::Strategy::sample_value(&($strat), &mut rng); )+
+                    // The closure gives `prop_assume!` an early exit
+                    // (`None`) without aborting the whole property.
+                    let _: ::core::option::Option<()> = (move || { $body ::core::option::Option::Some(()) })();
+                }
+            }
+        )*
+    };
+}
+
+/// Like `assert!`, inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Like `assert_eq!`, inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Like `assert_ne!`, inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::option::Option::None;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_subset_generates_in_language() {
+        let mut rng = crate::new_rng("pattern_subset");
+        for _ in 0..200 {
+            let s = Strategy::sample_value(&"[a-z]{1,20}", &mut rng);
+            assert!((1..=20).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+
+            let t = Strategy::sample_value(&"[ a-z0-9,.!-]{0,200}", &mut rng);
+            assert!(t.chars().count() <= 200);
+            assert!(
+                t.chars().all(|c| matches!(c, ' ' | 'a'..='z' | '0'..='9' | ',' | '.' | '!' | '-')),
+                "{t:?}"
+            );
+
+            let d = Strategy::sample_value(&".{0,10}", &mut rng);
+            assert!(d.chars().count() <= 10);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro wires strategies, tuples, maps and vec together.
+        #[test]
+        fn macro_roundtrip(
+            n in 3u32..7,
+            (a, b) in (0usize..5, 10usize..=12),
+            words in prop::collection::vec("[a-z]{2,4}", 1..4),
+            picked in prop::sample::select(vec!["x", "y"]).prop_map(str::to_string),
+            byte in any::<u8>(),
+        ) {
+            prop_assert!((3..7).contains(&n));
+            prop_assert!(a < 5 && (10..=12).contains(&b));
+            prop_assert!(!words.is_empty() && words.len() < 4);
+            for w in &words {
+                prop_assert!((2..=4).contains(&w.len()), "{w:?}");
+            }
+            prop_assert!(picked == "x" || picked == "y");
+            let _ = byte;
+        }
+
+        /// `prop_assume!` skips cases without failing them.
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

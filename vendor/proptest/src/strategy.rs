@@ -1,0 +1,82 @@
+//! The [`Strategy`] trait and its combinators (subset: `prop_map` and
+//! tuple composition — no shrinking machinery).
+
+use crate::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree: strategies sample
+/// directly from the RNG and failures are not shrunk.
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value.
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample_value(rng))
+    }
+}
+
+/// References to strategies are strategies (lets generators be shared).
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample_value(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample_value(rng)
+    }
+}
+
+/// A constant strategy (real proptest's `Just`).
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
