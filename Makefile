@@ -1,9 +1,9 @@
 # Developer entry points. CI (.github/workflows/ci.yml) runs the same
-# three gates: build, test, doc.
+# four gates: build, test, doc, clippy.
 
 CARGO ?= cargo
 
-.PHONY: build test doc bench-smoke bench ci
+.PHONY: build test doc clippy bench-smoke bench ci
 
 # Tier-1 gate, part 1.
 build:
@@ -17,6 +17,10 @@ test:
 doc:
 	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --workspace --no-deps
 
+# Lints with warnings promoted to errors, across every target.
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
 # Every criterion bench body exactly once — compile + run sanity, no timing.
 bench-smoke:
 	$(CARGO) bench -p graphex-bench -- --test
@@ -26,4 +30,4 @@ bench:
 	$(CARGO) bench -p graphex-bench
 
 # Everything CI checks, in CI order.
-ci: build test doc
+ci: build test doc clippy

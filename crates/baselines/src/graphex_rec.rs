@@ -1,19 +1,18 @@
-//! [`Recommender`] adapter over a [`graphex_core::GraphExModel`], so the
-//! evaluation harness can treat GraphEx exactly like every baseline.
+//! [`Recommender`] adapters over the core inference service, so the
+//! evaluation harness can treat GraphEx — raw engine or a whole serving
+//! stack — exactly like every baseline.
 
 use crate::{ItemRef, Rec, Recommender};
-use graphex_core::{GraphExModel, InferenceParams};
-use parking_lot_free_scratch::ScratchPool;
+use graphex_core::{Engine, GraphExModel, InferRequest, KeyphraseService};
 
 /// GraphEx wrapped as a [`Recommender`].
 ///
-/// The trait's `&self` signature requires interior scratch management; a
-/// tiny lock-free pool hands one [`graphex_core::Scratch`] per concurrent
-/// caller and reuses them afterwards.
-#[derive(Debug)]
+/// The trait's `&self` signature requires interior scratch management; the
+/// core [`Engine`] provides it (a lock-free-enough pooled [`graphex_core::Scratch`]
+/// per concurrent caller, reused afterwards).
+#[derive(Debug, Clone)]
 pub struct GraphExRecommender {
-    model: GraphExModel,
-    scratch: ScratchPool,
+    engine: Engine,
     /// Production prediction budget: the paper generates "a predetermined
     /// number of keyphrases (10–20)" per item (Sec. III-F) even when the
     /// evaluation allows up to 40; requests above this are clamped.
@@ -27,12 +26,17 @@ impl GraphExRecommender {
 
     /// Recommender with an explicit per-item prediction budget.
     pub fn with_budget(model: GraphExModel, max_k: usize) -> Self {
-        Self { model, scratch: ScratchPool::new(), max_k: max_k.max(1) }
+        Self { engine: Engine::from_model(model), max_k: max_k.max(1) }
     }
 
     /// The wrapped model.
     pub fn model(&self) -> &GraphExModel {
-        &self.model
+        self.engine.model()
+    }
+
+    /// The wrapped engine (shared scratch pool included).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 }
 
@@ -42,26 +46,20 @@ impl Recommender for GraphExRecommender {
     }
 
     fn recommend(&self, item: &ItemRef<'_>, k: usize) -> Vec<Rec> {
-        let mut scratch = self.scratch.take();
-        let k = k.min(self.max_k);
-        let preds = self
-            .model
-            .infer(item.title, item.leaf, &InferenceParams::with_k(k), &mut scratch)
-            .unwrap_or_default();
-        let alignment = self.model.alignment();
-        let out = preds
-            .iter()
-            .map(|p| Rec {
-                text: self.model.keyphrase_text(p.keyphrase).unwrap_or_default().to_string(),
-                score: p.score(alignment),
-            })
-            .collect();
-        self.scratch.give(scratch);
-        out
+        let request =
+            InferRequest::new(item.title, item.leaf).k(k.min(self.max_k)).resolve_texts(true);
+        let response = self.engine.infer(&request);
+        let alignment = self.engine.model().alignment();
+        response
+            .texts
+            .into_iter()
+            .zip(&response.predictions)
+            .map(|(text, p)| Rec { text, score: p.score(alignment) })
+            .collect()
     }
 
     fn size_bytes(&self) -> usize {
-        self.model.size_bytes()
+        self.model().size_bytes()
     }
 
     fn cold_start_capable(&self) -> bool {
@@ -69,34 +67,93 @@ impl Recommender for GraphExRecommender {
     }
 }
 
-/// Minimal lock-free object pool for `Scratch` reuse under `&self`.
-mod parking_lot_free_scratch {
-    use graphex_core::Scratch;
-    use std::sync::Mutex;
+/// Any [`KeyphraseService`] exposed as a [`Recommender`], so the
+/// evaluation harness can score a *serving stack* (e.g. the store-backed
+/// `ServingApi`) with the same metrics as the models themselves.
+///
+/// Known items carry their id into the request (a store-backed service
+/// uses it as the KV key); cold items go id-less and are computed
+/// directly. By default `Rec::score` is rank-based (descending by
+/// construction — a KV-served response carries texts, not per-prediction
+/// attributes, and the adapter cannot see the service's default
+/// alignment). [`ServiceRecommender::with_alignment`] pins an explicit
+/// alignment instead: it rides every request (so the service *ranks* with
+/// it) and, **whenever the response carries prediction attributes**
+/// (always for an [`graphex_core::Engine`]; only freshly computed answers
+/// for a store-backed service), scores them with the same function,
+/// making those scores comparable with [`GraphExRecommender`]. KV-served
+/// answers hold texts only, so they fall back to rank-based scores —
+/// compare scores across recommenders only over attribute-carrying
+/// services, or treat them as ordering, not magnitude.
+pub struct ServiceRecommender<S> {
+    service: S,
+    name: &'static str,
+    alignment: Option<graphex_core::Alignment>,
+}
 
-    /// Mutex-guarded stack of scratches. The lock is held only for the
-    /// push/pop, never across an inference, so contention is negligible
-    /// next to inference work.
-    #[derive(Debug, Default)]
-    pub struct ScratchPool {
-        pool: Mutex<Vec<Scratch>>,
+impl<S: KeyphraseService> ServiceRecommender<S> {
+    pub fn new(name: &'static str, service: S) -> Self {
+        Self { service, name, alignment: None }
     }
 
-    impl ScratchPool {
-        pub fn new() -> Self {
-            Self::default()
-        }
+    /// Adapter that ranks *and* scores with an explicit alignment.
+    pub fn with_alignment(
+        name: &'static str,
+        service: S,
+        alignment: graphex_core::Alignment,
+    ) -> Self {
+        Self { service, name, alignment: Some(alignment) }
+    }
 
-        pub fn take(&self) -> Scratch {
-            self.pool.lock().expect("scratch pool poisoned").pop().unwrap_or_default()
-        }
+    /// The wrapped service.
+    pub fn service(&self) -> &S {
+        &self.service
+    }
+}
 
-        pub fn give(&self, scratch: Scratch) {
-            let mut pool = self.pool.lock().expect("scratch pool poisoned");
-            if pool.len() < 64 {
-                pool.push(scratch);
+impl<S: KeyphraseService> Recommender for ServiceRecommender<S> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn recommend(&self, item: &ItemRef<'_>, k: usize) -> Vec<Rec> {
+        let mut request = InferRequest::new(item.title, item.leaf).k(k).resolve_texts(true);
+        if let Some(id) = item.id {
+            request = request.id(u64::from(id));
+        }
+        if let Some(alignment) = self.alignment {
+            request = request.alignment(alignment);
+        }
+        let response = self.service.infer(&request);
+        match self.alignment {
+            // Attributes present and the ranking alignment is known →
+            // real scores, consistent with the order the service used.
+            Some(alignment) if response.predictions.len() == response.texts.len() => response
+                .texts
+                .into_iter()
+                .zip(&response.predictions)
+                .map(|(text, p)| Rec { text, score: p.score(alignment) })
+                .collect(),
+            // Texts only (store-served) or unknown alignment → rank-based
+            // scores, monotonically descending by construction.
+            _ => {
+                let n = response.texts.len();
+                response
+                    .texts
+                    .into_iter()
+                    .enumerate()
+                    .map(|(rank, text)| Rec { text, score: (n - rank) as f64 })
+                    .collect()
             }
         }
+    }
+
+    fn size_bytes(&self) -> usize {
+        0 // the service fronts a model measured elsewhere
+    }
+
+    fn cold_start_capable(&self) -> bool {
+        true
     }
 }
 
@@ -123,10 +180,12 @@ mod tests {
         let rec = recommender();
         let item = ItemRef::cold("audeze maxwell gaming headphones xbox", LeafId(7));
         let recs = rec.recommend(&item, 5);
-        let direct = rec.model().infer_simple(item.title, item.leaf, 5);
-        assert_eq!(recs.len(), direct.len());
-        for (r, p) in recs.iter().zip(&direct) {
-            assert_eq!(r.text, rec.model().keyphrase_text(p.keyphrase).unwrap());
+        let direct = rec
+            .engine()
+            .infer(&InferRequest::new(item.title, item.leaf).k(5).resolve_texts(true));
+        assert_eq!(recs.len(), direct.texts.len());
+        for (r, text) in recs.iter().zip(&direct.texts) {
+            assert_eq!(&r.text, text);
         }
         assert_eq!(rec.name(), "GraphEx");
         assert!(rec.cold_start_capable());
@@ -158,6 +217,43 @@ mod tests {
         }
         for h in handles {
             h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn service_recommender_over_an_engine() {
+        let rec = recommender();
+        let via_service = ServiceRecommender::new("GraphEx(service)", rec.engine().clone());
+        let item = ItemRef::known(3, "audeze maxwell gaming headphones xbox", LeafId(7));
+        let a = rec.recommend(&item, 5);
+        let b = via_service.recommend(&item, 5);
+        assert_eq!(
+            a.iter().map(|r| &r.text).collect::<Vec<_>>(),
+            b.iter().map(|r| &r.text).collect::<Vec<_>>()
+        );
+        // Rank-based scores are descending by construction.
+        for w in b.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        assert_eq!(via_service.name(), "GraphEx(service)");
+        assert!(via_service.cold_start_capable());
+    }
+
+    #[test]
+    fn service_recommender_with_alignment_matches_direct_scores() {
+        use graphex_core::Alignment;
+        let rec = recommender(); // model default alignment is LTA
+        let via_service = ServiceRecommender::with_alignment(
+            "GraphEx(service)",
+            rec.engine().clone(),
+            Alignment::Lta,
+        );
+        let item = ItemRef::known(3, "audeze maxwell gaming headphones xbox", LeafId(7));
+        let a = rec.recommend(&item, 5);
+        let b = via_service.recommend(&item, 5);
+        assert_eq!(a, b, "same alignment → identical texts and scores");
+        for w in b.windows(2) {
+            assert!(w[0].score >= w[1].score);
         }
     }
 }

@@ -29,7 +29,7 @@ pub mod sl_emb;
 pub mod sl_query;
 
 pub use fasttext::FastTextLike;
-pub use graphex_rec::GraphExRecommender;
+pub use graphex_rec::{GraphExRecommender, ServiceRecommender};
 pub use graphite::Graphite;
 pub use rules_engine::RulesEngine;
 pub use sl_emb::SlEmb;

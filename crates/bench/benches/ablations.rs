@@ -11,7 +11,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use graphex_bench::experiments::{build_graphex, default_threshold};
-use graphex_core::{Alignment, GraphExModel, InferenceParams, Scratch};
+use graphex_core::{Alignment, GraphExModel, InferRequest, Scratch};
 use graphex_marketsim::{CategoryDataset, CategorySpec};
 use std::collections::HashMap;
 
@@ -51,22 +51,22 @@ fn bench_enumeration_strategy(c: &mut Criterion) {
     let mut group = c.benchmark_group("enumeration_strategy");
     group.bench_function("count_array_scratch_reuse", |b| {
         let mut scratch = Scratch::new();
-        let params = InferenceParams::with_k(20);
         let mut idx = 0usize;
         b.iter(|| {
             let (title, leaf) = &s.titles[idx % s.titles.len()];
             idx += 1;
-            std::hint::black_box(s.model.infer(title, *leaf, &params, &mut scratch).unwrap_or_default())
+            let req = InferRequest::new(title, *leaf).k(20);
+            std::hint::black_box(s.model.infer_request(&req, &mut scratch))
         });
     });
     group.bench_function("fresh_scratch_every_call", |b| {
-        let params = InferenceParams::with_k(20);
         let mut idx = 0usize;
         b.iter(|| {
             let mut scratch = Scratch::new();
             let (title, leaf) = &s.titles[idx % s.titles.len()];
             idx += 1;
-            std::hint::black_box(s.model.infer(title, *leaf, &params, &mut scratch).unwrap_or_default())
+            let req = InferRequest::new(title, *leaf).k(20);
+            std::hint::black_box(s.model.infer_request(&req, &mut scratch))
         });
     });
     group.bench_function("hashmap_dc_baseline", |b| {
@@ -86,22 +86,22 @@ fn bench_pruning(c: &mut Criterion) {
     // k=20 with pruning vs rank-everything.
     group.bench_function("group_pruned_k20", |b| {
         let mut scratch = Scratch::new();
-        let params = InferenceParams::with_k(20);
         let mut idx = 0usize;
         b.iter(|| {
             let (title, leaf) = &s.titles[idx % s.titles.len()];
             idx += 1;
-            std::hint::black_box(s.model.infer(title, *leaf, &params, &mut scratch).unwrap_or_default())
+            let req = InferRequest::new(title, *leaf).k(20);
+            std::hint::black_box(s.model.infer_request(&req, &mut scratch))
         });
     });
     group.bench_function("rank_all_candidates", |b| {
         let mut scratch = Scratch::new();
-        let params = InferenceParams { k: usize::MAX, alignment: None, keep_threshold_group: true };
         let mut idx = 0usize;
         b.iter(|| {
             let (title, leaf) = &s.titles[idx % s.titles.len()];
             idx += 1;
-            std::hint::black_box(s.model.infer(title, *leaf, &params, &mut scratch).unwrap_or_default())
+            let req = InferRequest::new(title, *leaf).k(usize::MAX).keep_threshold_group(true);
+            std::hint::black_box(s.model.infer_request(&req, &mut scratch))
         });
     });
     group.finish();
@@ -113,15 +113,12 @@ fn bench_alignment(c: &mut Criterion) {
     for alignment in Alignment::ALL {
         group.bench_function(alignment.name(), |b| {
             let mut scratch = Scratch::new();
-            let params =
-                InferenceParams { k: 20, alignment: Some(alignment), keep_threshold_group: false };
             let mut idx = 0usize;
             b.iter(|| {
                 let (title, leaf) = &s.titles[idx % s.titles.len()];
                 idx += 1;
-                std::hint::black_box(
-                    s.model.infer(title, *leaf, &params, &mut scratch).unwrap_or_default(),
-                )
+                let req = InferRequest::new(title, *leaf).k(20).alignment(alignment);
+                std::hint::black_box(s.model.infer_request(&req, &mut scratch))
             });
         });
     }
@@ -133,25 +130,23 @@ fn bench_leaf_granularity(c: &mut Criterion) {
     let mut group = c.benchmark_group("leaf_granularity");
     group.bench_function("per_leaf_graph", |b| {
         let mut scratch = Scratch::new();
-        let params = InferenceParams::with_k(20);
         let mut idx = 0usize;
         b.iter(|| {
             let (title, leaf) = &s.titles[idx % s.titles.len()];
             idx += 1;
-            std::hint::black_box(s.model.infer(title, *leaf, &params, &mut scratch).unwrap_or_default())
+            let req = InferRequest::new(title, *leaf).k(20);
+            std::hint::black_box(s.model.infer_request(&req, &mut scratch))
         });
     });
     group.bench_function("meta_fallback_graph", |b| {
         let mut scratch = Scratch::new();
-        let params = InferenceParams::with_k(20);
         let unknown = graphex_core::LeafId(u32::MAX); // forces the fallback
         let mut idx = 0usize;
         b.iter(|| {
             let (title, _) = &s.titles[idx % s.titles.len()];
             idx += 1;
-            std::hint::black_box(
-                s.model.infer(title, unknown, &params, &mut scratch).unwrap_or_default(),
-            )
+            let req = InferRequest::new(title, unknown).k(20);
+            std::hint::black_box(s.model.infer_request(&req, &mut scratch))
         });
     });
     group.finish();

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use graphex_bench::experiments::{build_graphex, default_threshold};
-use graphex_core::parallel::{batch_infer, InferRequest};
-use graphex_core::InferenceParams;
+use graphex_core::parallel::batch_infer;
+use graphex_core::InferRequest;
 use graphex_marketsim::{CategoryDataset, CategorySpec};
 
 fn bench_batch(c: &mut Criterion) {
@@ -14,8 +14,7 @@ fn bench_batch(c: &mut Criterion) {
     let items: Vec<(String, graphex_core::LeafId)> =
         ds.marketplace.items.iter().take(2_000).map(|i| (i.title.clone(), i.leaf)).collect();
     let requests: Vec<InferRequest<'_>> =
-        items.iter().map(|(t, l)| InferRequest::new(t, *l)).collect();
-    let params = InferenceParams::with_k(20);
+        items.iter().map(|(t, l)| InferRequest::new(t, *l).k(20)).collect();
 
     let mut group = c.benchmark_group("batch_throughput_cat3");
     group.sample_size(10);
@@ -23,7 +22,7 @@ fn bench_batch(c: &mut Criterion) {
     for threads in [1usize, 2, 4, 0] {
         let label = if threads == 0 { "all".to_string() } else { threads.to_string() };
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| std::hint::black_box(batch_infer(&model, &requests, &params, threads)))
+            b.iter(|| std::hint::black_box(batch_infer(&model, &requests, threads)))
         });
     }
     group.finish();

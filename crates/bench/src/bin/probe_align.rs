@@ -1,7 +1,7 @@
 //! Diagnostic: how often do WMR/JAC/LTA produce different top-k sets?
 
 use graphex_bench::experiments::{build_graphex, default_threshold};
-use graphex_core::{Alignment, InferenceParams, Scratch};
+use graphex_core::{Alignment, InferRequest, Scratch};
 use graphex_marketsim::{CategoryDataset, CategorySpec};
 
 fn main() {
@@ -16,12 +16,12 @@ fn main() {
     for k in [3usize, 5] {
         print!("k={k} RP:");
         for a in [Alignment::Wmr, Alignment::Jac, Alignment::Lta] {
-            let params = InferenceParams { k, alignment: Some(a), keep_threshold_group: false };
             let (mut relevant, mut total) = (0usize, 0usize);
             for item in ds.test_items(400, 1) {
-                for p in model.infer(&item.title, item.leaf, &params, &mut scratch).unwrap_or_default() {
+                let req = InferRequest::new(&item.title, item.leaf).k(k).alignment(a).resolve_texts(true);
+                for text in &model.infer_request(&req, &mut scratch).texts {
                     total += 1;
-                    if oracle.is_relevant(item, model.keyphrase_text(p.keyphrase).unwrap()) {
+                    if oracle.is_relevant(item, text) {
                         relevant += 1;
                     }
                 }
@@ -38,24 +38,19 @@ fn probe(
     scratch: &mut Scratch,
     k: usize,
 ) {
-    let scratch = scratch;
     let mut diff_sets = [0usize; 3]; // LTA-vs-WMR, LTA-vs-JAC, WMR-vs-JAC
     let mut pool_over_k = 0usize;
     let items = ds.test_items(400, 1);
     for item in &items {
         let run = |a: Alignment, scratch: &mut Scratch| -> Vec<u32> {
-            let params = InferenceParams { k, alignment: Some(a), keep_threshold_group: false };
-            let mut v: Vec<u32> = model
-                .infer(&item.title, item.leaf, &params, scratch)
-                .unwrap_or_default()
-                .iter()
-                .map(|p| p.keyphrase)
-                .collect();
+            let req = InferRequest::new(&item.title, item.leaf).k(k).alignment(a);
+            let mut v: Vec<u32> =
+                model.infer_request(&req, scratch).predictions.iter().map(|p| p.keyphrase).collect();
             v.sort_unstable();
             v
         };
-        let all_params = InferenceParams { k: usize::MAX, alignment: None, keep_threshold_group: true };
-        let pool = model.infer(&item.title, item.leaf, &all_params, scratch).unwrap_or_default();
+        let all = InferRequest::new(&item.title, item.leaf).k(usize::MAX).keep_threshold_group(true);
+        let pool = model.infer_request(&all, scratch).predictions;
         if pool.len() > k {
             pool_over_k += 1;
         }

@@ -14,19 +14,20 @@ fn main() {
     eprintln!("[repro_all] scale: {scale:?}");
     let studies = run_studies(scale);
 
-    let mut sections: Vec<String> = Vec::new();
-    sections.push(render::table1());
-    sections.push(render::table2(&studies));
-    sections.push(render::fig2(&studies[0]));
-    sections.push(render::fig4(&studies));
-    sections.push(render::table3(&studies));
-    sections.push(render::table4(&studies));
-    sections.push(render::fig5(&studies[0]));
-    sections.push(render::table5(&studies));
-    sections.push(render::table6(&studies));
-    sections.push(render::table7(&studies[0]));
-    sections.push(render::fig6(&studies));
-    sections.push(render::serving_demo(&studies[0]));
+    let sections: Vec<String> = vec![
+        render::table1(),
+        render::table2(&studies),
+        render::fig2(&studies[0]),
+        render::fig4(&studies),
+        render::table3(&studies),
+        render::table4(&studies),
+        render::fig5(&studies[0]),
+        render::table5(&studies),
+        render::table6(&studies),
+        render::table7(&studies[0]),
+        render::fig6(&studies),
+        render::serving_demo(&studies[0]),
+    ];
 
     let mut out = String::new();
     for section in sections {

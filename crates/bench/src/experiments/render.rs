@@ -3,7 +3,7 @@
 
 use super::{percentile_threshold, Study, MODEL_ORDER};
 use crate::tables::{fmt_bytes, fmt_pct, fmt_ratio, render};
-use graphex_core::{InferenceParams, Scratch};
+use graphex_core::Scratch;
 use graphex_eval::judge::RelevanceJudge;
 use graphex_eval::metrics::{exclusive_relevant_head, fig4_rows, precision_recall_vs, venn_counts};
 use graphex_eval::framework_capabilities;
@@ -238,19 +238,17 @@ pub fn table6(studies: &[Study]) -> String {
         let mut row = vec![study.name.clone()];
         for alignment in [Alignment::Wmr, Alignment::Jac, Alignment::Lta] {
             let mut scratch = Scratch::new();
-            let params =
-                InferenceParams { k: 10, alignment: Some(alignment), keep_threshold_group: false };
             let mut relevant = 0usize;
             let mut total = 0usize;
             for &id in &study.test_item_ids {
                 let item = &study.ds.marketplace.items[id as usize];
-                let preds = study
-                    .graphex_model
-                    .infer(&item.title, item.leaf, &params, &mut scratch)
-                    .unwrap_or_default();
-                for p in preds {
+                let request = graphex_core::InferRequest::new(&item.title, item.leaf)
+                    .k(10)
+                    .alignment(alignment)
+                    .resolve_texts(true);
+                let response = study.graphex_model.infer_request(&request, &mut scratch);
+                for text in &response.texts {
                     total += 1;
-                    let text = study.graphex_model.keyphrase_text(p.keyphrase).unwrap_or_default();
                     if judge.judge(item, text) {
                         relevant += 1;
                     }
@@ -277,7 +275,6 @@ pub fn table7(study: &Study) -> String {
     let head = graphex_eval::HeadThreshold::from_dataset(&study.ds);
 
     let mut scratch = Scratch::new();
-    let params = InferenceParams::with_k(20);
     let mut identical = 0usize;
     let mut same_relevant = 0usize;
     let mut same_relevant_head = 0usize;
@@ -289,13 +286,9 @@ pub fn table7(study: &Study) -> String {
     for &id in items {
         let item = &study.ds.marketplace.items[id as usize];
         let texts = |model: &graphex_core::GraphExModel, scratch: &mut Scratch| -> Vec<String> {
-            model
-                .infer(&item.title, item.leaf, &params, scratch)
-                .unwrap_or_default()
-                .iter()
-                .filter_map(|p| model.keyphrase_text(p.keyphrase))
-                .map(str::to_string)
-                .collect()
+            let request =
+                graphex_core::InferRequest::new(&item.title, item.leaf).k(20).resolve_texts(true);
+            model.infer_request(&request, scratch).texts
         };
         let a = texts(&model_low, &mut scratch);
         let b = texts(&model_high, &mut scratch);
@@ -446,7 +439,7 @@ pub fn serving_demo(study: &Study) -> String {
     let mut consistent = 0usize;
     let mut compared = 0usize;
     for item in &sample {
-        match (batch_store.get(item.id), nrt_store.get(item.id)) {
+        match (batch_store.get(u64::from(item.id)), nrt_store.get(u64::from(item.id))) {
             (Some(a), Some(b)) => {
                 compared += 1;
                 if a.keyphrases == b.keyphrases {

@@ -12,13 +12,13 @@ pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
     }
     let mut out = String::new();
     let write_row = |out: &mut String, cells: &[String]| {
-        for i in 0..cols {
+        for (i, width) in widths.iter().enumerate() {
             let cell = cells.get(i).map(String::as_str).unwrap_or("");
             if i > 0 {
                 out.push_str("  ");
             }
             out.push_str(cell);
-            for _ in cell.len()..widths[i] {
+            for _ in cell.len()..*width {
                 out.push(' ');
             }
         }

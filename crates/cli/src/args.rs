@@ -12,7 +12,7 @@ pub struct ParsedArgs {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["no-stemming", "no-fallback", "stdin"];
+const SWITCHES: &[&str] = &["no-stemming", "no-fallback", "stdin", "outcome"];
 
 impl ParsedArgs {
     pub fn parse(argv: &[String]) -> Result<Self, String> {

@@ -15,7 +15,8 @@ pub fn usage() -> &'static str {
   graphex build    --input <records.tsv> --output <model.gexm>
                    [--min-search N] [--alignment <lta|wmr|jac>]
                    [--no-stemming] [--no-fallback]
-  graphex infer    --model <model.gexm> --leaf <id> (--title <text> | --stdin) [--k N]
+  graphex infer    --model <model.gexm> --leaf <id> (--title <text> | --stdin)
+                   [--k N] [--alignment <lta|wmr|jac>] [--outcome]
   graphex explain  --model <model.gexm> --leaf <id> --title <text> [--k N]
   graphex stats    --model <model.gexm>
   graphex diff     --old <a.gexm> --new <b.gexm> [--max-listed N]

@@ -285,7 +285,10 @@ mod tests {
             .build()
             .unwrap();
         // Title uses the plural; keyphrase the singular. Stemming unifies.
-        let preds = model.infer_simple("gaming headphones bundle", LeafId(1), 5);
+        let mut scratch = crate::Scratch::new();
+        let preds = model
+            .infer_request(&crate::InferRequest::new("gaming headphones bundle", LeafId(1)).k(5), &mut scratch)
+            .predictions;
         assert_eq!(preds.len(), 1);
         assert_eq!(preds[0].matched, 2);
         // Output text preserves the original (normalized) query form.

@@ -27,7 +27,9 @@
 //!    tie-breaks.
 //!
 //! ```
-//! use graphex_core::{Alignment, GraphExBuilder, GraphExConfig, KeyphraseRecord, LeafId};
+//! use graphex_core::{
+//!     Engine, GraphExBuilder, GraphExConfig, InferRequest, KeyphraseRecord, LeafId, Outcome,
+//! };
 //!
 //! let leaf = LeafId(7);
 //! let records = vec![
@@ -42,16 +44,26 @@
 //!     .build()
 //!     .unwrap();
 //!
-//! let preds = model.infer_simple("Audeze Maxwell gaming headphones for Xbox", leaf, 3);
-//! let texts: Vec<&str> = preds.iter().map(|p| model.keyphrase_text(p.keyphrase).unwrap()).collect();
+//! // The Engine is the in-process inference service: shared model +
+//! // pooled scratches, one typed request/response envelope per call.
+//! let engine = Engine::from_model(model);
+//! let request = InferRequest::new("Audeze Maxwell gaming headphones for Xbox", leaf)
+//!     .k(3)
+//!     .resolve_texts(true);
+//! let response = engine.infer(&request);
+//! // The outcome says *why* the answer is what it is: an exact-leaf hit.
+//! assert_eq!(response.outcome, Outcome::ExactLeaf);
 //! // "gaming headphones xbox" is fully matched: LTA 3/1 = 3.0 ranks first;
 //! // "audeze maxwell" (LTA 2/1) beats "audeze headphones" on search count.
-//! assert_eq!(texts, ["gaming headphones xbox", "audeze maxwell", "audeze headphones"]);
+//! assert_eq!(response.texts, ["gaming headphones xbox", "audeze maxwell", "audeze headphones"]);
 //! ```
 //!
 //! The crate is CPU-only, allocation-free per inference at steady state
-//! (reusable [`Scratch`]), and scales batch inference across cores with
-//! [`parallel::batch_infer`].
+//! (pooled [`Scratch`] via [`Engine`]/[`Session`]), and scales batch
+//! inference across cores with [`Engine::infer_batch`] /
+//! [`parallel::batch_infer`] — per-request `k` and alignment included.
+//! Every frontend (store-backed serving, CLI, evaluation, benches) speaks
+//! the same [`KeyphraseService`] trait.
 
 pub mod alignment;
 pub mod builder;
@@ -66,6 +78,7 @@ pub mod model;
 pub mod parallel;
 pub mod ranking;
 pub mod serialize;
+pub mod service;
 pub mod types;
 
 pub use alignment::Alignment;
@@ -75,4 +88,8 @@ pub use error::GraphExError;
 pub use explain::ExplainedPrediction;
 pub use inference::{InferenceParams, Prediction, Scratch};
 pub use model::{GraphExModel, ModelStats};
+pub use service::{
+    Engine, InferRequest, InferResponse, KeyphraseService, Outcome, OutcomeCounts, ScratchPool,
+    Session,
+};
 pub use types::{KeyphraseId, KeyphraseRecord, LeafId};

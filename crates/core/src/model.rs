@@ -4,6 +4,7 @@ use crate::alignment::Alignment;
 use crate::error::{GraphExError, Result};
 use crate::inference::{collect_title_tokens, infer_on_graph, InferenceParams, Prediction, Scratch};
 use crate::leaf_graph::LeafGraph;
+use crate::service::{InferRequest, InferResponse, Outcome};
 use crate::types::{KeyphraseId, LeafId};
 use graphex_textkit::{FxHashMap, Tokenizer, TokenizerBuilder, Vocab};
 
@@ -53,6 +54,9 @@ impl GraphExModel {
     ///
     /// Falls back to the meta-category graph when the leaf is unknown and a
     /// fallback was built; otherwise returns [`GraphExError::UnknownLeaf`].
+    /// Thin `Result` view over [`GraphExModel::infer_request`] (the single
+    /// inference entry point), for callers that own explicit
+    /// [`InferenceParams`].
     pub fn infer(
         &self,
         title: &str,
@@ -60,23 +64,67 @@ impl GraphExModel {
         params: &InferenceParams,
         scratch: &mut Scratch,
     ) -> Result<Vec<Prediction>> {
-        let graph = match self.leaves.get(&leaf) {
-            Some(g) => g,
+        let request = InferRequest {
+            title,
+            leaf,
+            k: params.k,
+            alignment: params.alignment,
+            keep_threshold_group: params.keep_threshold_group,
+            id: None,
+            resolve_texts: false,
+        };
+        let response = self.infer_request(&request, scratch);
+        match response.outcome {
+            Outcome::UnknownLeaf => Err(GraphExError::UnknownLeaf(leaf)),
+            _ => Ok(response.predictions),
+        }
+    }
+
+    /// Answers one typed [`InferRequest`], reporting provenance through
+    /// [`InferResponse::outcome`] instead of an error or a silent empty vec.
+    ///
+    /// This is the single entry point behind every inference frontend; the
+    /// pooled [`crate::Engine`] wraps it for `&self` callers, and
+    /// [`crate::parallel::batch_infer`] fans it across threads.
+    pub fn infer_request(&self, request: &InferRequest<'_>, scratch: &mut Scratch) -> InferResponse {
+        let (graph, exact) = match self.leaves.get(&request.leaf) {
+            Some(g) => (g, true),
             None => match &self.fallback {
-                Some(g) => &**g,
-                None => return Err(GraphExError::UnknownLeaf(leaf)),
+                Some(g) => (&**g, false),
+                None => return InferResponse::empty(request.id, Outcome::UnknownLeaf),
             },
         };
-        collect_title_tokens(&self.tokenizer, &self.tokens, title, scratch);
-        let alignment = params.alignment.unwrap_or(self.alignment);
-        Ok(infer_on_graph(graph, alignment, params, scratch))
+        collect_title_tokens(&self.tokenizer, &self.tokens, request.title, scratch);
+        let alignment = request.alignment.unwrap_or(self.alignment);
+        let predictions = infer_on_graph(graph, alignment, &request.params(), scratch);
+        let outcome = if predictions.is_empty() {
+            Outcome::Empty
+        } else if exact {
+            Outcome::ExactLeaf
+        } else {
+            Outcome::MetaFallback
+        };
+        let texts = if request.resolve_texts {
+            predictions
+                .iter()
+                .map(|p| self.keyphrase_text(p.keyphrase).unwrap_or_default().to_string())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        InferResponse { id: request.id, outcome, predictions, texts }
     }
 
     /// One-shot convenience: allocates a scratch, swallows `UnknownLeaf`
-    /// into an empty list. Prefer [`GraphExModel::infer`] in loops.
+    /// into an empty list.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use GraphExModel::infer_request or Engine::infer — the Outcome \
+                distinguishes unknown-leaf from empty results"
+    )]
     pub fn infer_simple(&self, title: &str, leaf: LeafId, k: usize) -> Vec<Prediction> {
         let mut scratch = Scratch::new();
-        self.infer(title, leaf, &InferenceParams::with_k(k), &mut scratch).unwrap_or_default()
+        self.infer_request(&InferRequest::new(title, leaf).k(k), &mut scratch).predictions
     }
 
     /// The text of a keyphrase id (normalized query text).
@@ -184,11 +232,15 @@ mod tests {
     #[test]
     fn infer_end_to_end_figure3() {
         let model = sample_model(false);
-        let preds = model.infer_simple("Audeze Maxwell gaming headphones for Xbox", LeafId(7), 5);
-        let texts: Vec<&str> = preds.iter().map(|p| model.keyphrase_text(p.keyphrase).unwrap()).collect();
-        assert_eq!(texts[0], "gaming headphones xbox"); // full match, LTA 3.0
-        assert_eq!(texts[1], "audeze maxwell"); // LTA 2.0, S=900
-        assert_eq!(texts[2], "audeze headphones");
+        let mut scratch = Scratch::new();
+        let req = InferRequest::new("Audeze Maxwell gaming headphones for Xbox", LeafId(7))
+            .k(5)
+            .resolve_texts(true);
+        let resp = model.infer_request(&req, &mut scratch);
+        assert_eq!(resp.outcome, Outcome::ExactLeaf);
+        assert_eq!(resp.texts[0], "gaming headphones xbox"); // full match, LTA 3.0
+        assert_eq!(resp.texts[1], "audeze maxwell"); // LTA 2.0, S=900
+        assert_eq!(resp.texts[2], "audeze headphones");
     }
 
     #[test]
@@ -197,16 +249,34 @@ mod tests {
         let mut scratch = Scratch::new();
         let err = model.infer("anything", LeafId(999), &InferenceParams::default(), &mut scratch);
         assert!(matches!(err, Err(GraphExError::UnknownLeaf(LeafId(999)))));
-        // infer_simple swallows it
-        assert!(model.infer_simple("anything", LeafId(999), 5).is_empty());
+        // The envelope reports it as an outcome instead of an error.
+        let resp = model.infer_request(&InferRequest::new("anything", LeafId(999)), &mut scratch);
+        assert_eq!(resp.outcome, Outcome::UnknownLeaf);
+        assert!(resp.is_empty());
     }
 
     #[test]
     fn unknown_leaf_uses_fallback_when_built() {
         let model = sample_model(true);
         assert!(model.has_fallback());
-        let preds = model.infer_simple("audeze maxwell headphones", LeafId(999), 5);
-        assert!(!preds.is_empty());
+        let mut scratch = Scratch::new();
+        let resp = model
+            .infer_request(&InferRequest::new("audeze maxwell headphones", LeafId(999)).k(5), &mut scratch);
+        assert_eq!(resp.outcome, Outcome::MetaFallback);
+        assert!(!resp.predictions.is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn infer_simple_shim_matches_envelope() {
+        let model = sample_model(false);
+        let mut scratch = Scratch::new();
+        let title = "Audeze Maxwell gaming headphones for Xbox";
+        let via_shim = model.infer_simple(title, LeafId(7), 5);
+        let via_envelope =
+            model.infer_request(&InferRequest::new(title, LeafId(7)).k(5), &mut scratch).predictions;
+        assert_eq!(via_shim, via_envelope);
+        assert!(model.infer_simple("anything", LeafId(999), 5).is_empty());
     }
 
     #[test]

@@ -2,63 +2,67 @@
 //!
 //! GraphEx "employs coarse-grained multithreading, assigning each input's
 //! inference to an individual thread". We chunk the request slice across
-//! `crossbeam` scoped threads; each thread owns one [`Scratch`], so the
-//! steady state does no cross-thread synchronization and no allocation
-//! beyond the result vectors.
+//! `crossbeam` scoped threads; each thread checks one
+//! [`crate::Scratch`] out of a [`ScratchPool`], so the steady state
+//! does no cross-thread
+//! synchronization and no allocation beyond the result vectors.
+//!
+//! Requests are full [`InferRequest`] envelopes: every item in a batch can
+//! carry its own `k`, alignment override, and resolve-texts flag. Results
+//! come back as [`InferResponse`]s in request order, each tagged with the
+//! [`crate::Outcome`] that explains it — a batch never aborts because one
+//! item is in a cold category; that item simply reports `UnknownLeaf`.
 
-use crate::inference::{InferenceParams, Prediction, Scratch};
 use crate::model::GraphExModel;
-use crate::types::LeafId;
-
-/// One inference request in a batch.
-#[derive(Debug, Clone, Copy)]
-pub struct InferRequest<'a> {
-    pub title: &'a str,
-    pub leaf: LeafId,
-}
-
-impl<'a> InferRequest<'a> {
-    pub fn new(title: &'a str, leaf: LeafId) -> Self {
-        Self { title, leaf }
-    }
-}
+use crate::service::{InferRequest, InferResponse, ScratchPool};
 
 /// Runs inference for every request, in order, using up to `num_threads`
 /// worker threads (`0` = all available cores).
 ///
-/// Unknown-leaf requests yield an empty prediction list (a batch must not
-/// abort because one item is in a cold category — mirrors production
-/// behaviour where such items simply get no recommendations from this
-/// source).
+/// Per-request parameters are honoured; the result is identical to calling
+/// [`GraphExModel::infer_request`] sequentially (pinned by a property test
+/// in `crates/core/tests/service_props.rs`). Prefer
+/// [`crate::Engine::infer_batch`] when calling repeatedly — the engine's
+/// pool keeps scratch buffers warm across batches.
 pub fn batch_infer(
     model: &GraphExModel,
     requests: &[InferRequest<'_>],
-    params: &InferenceParams,
     num_threads: usize,
-) -> Vec<Vec<Prediction>> {
+) -> Vec<InferResponse> {
+    batch_infer_pooled(model, requests, num_threads, &ScratchPool::new())
+}
+
+/// [`batch_infer`] drawing scratches from an existing pool (the
+/// [`crate::Engine`] path).
+pub(crate) fn batch_infer_pooled(
+    model: &GraphExModel,
+    requests: &[InferRequest<'_>],
+    num_threads: usize,
+    pool: &ScratchPool,
+) -> Vec<InferResponse> {
     let threads = effective_threads(num_threads, requests.len());
     if threads <= 1 {
-        let mut scratch = Scratch::new();
-        return requests
-            .iter()
-            .map(|r| model.infer(r.title, r.leaf, params, &mut scratch).unwrap_or_default())
-            .collect();
+        let mut scratch = pool.take();
+        let results = requests.iter().map(|r| model.infer_request(r, &mut scratch)).collect();
+        pool.give(scratch);
+        return results;
     }
 
-    let mut results: Vec<Vec<Prediction>> = vec![Vec::new(); requests.len()];
+    let mut results: Vec<Option<InferResponse>> = (0..requests.len()).map(|_| None).collect();
     let chunk = requests.len().div_ceil(threads);
     crossbeam::thread::scope(|scope| {
         for (req_chunk, out_chunk) in requests.chunks(chunk).zip(results.chunks_mut(chunk)) {
             scope.spawn(move |_| {
-                let mut scratch = Scratch::new();
+                let mut scratch = pool.take();
                 for (req, out) in req_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *out = model.infer(req.title, req.leaf, params, &mut scratch).unwrap_or_default();
+                    *out = Some(model.infer_request(req, &mut scratch));
                 }
+                pool.give(scratch);
             });
         }
     })
     .expect("batch inference worker panicked");
-    results
+    results.into_iter().map(|r| r.expect("every request answered")).collect()
 }
 
 fn effective_threads(requested: usize, work_items: usize) -> usize {
@@ -71,7 +75,8 @@ fn effective_threads(requested: usize, work_items: usize) -> usize {
 mod tests {
     use super::*;
     use crate::builder::{GraphExBuilder, GraphExConfig};
-    use crate::types::KeyphraseRecord;
+    use crate::service::Outcome;
+    use crate::types::{KeyphraseRecord, LeafId};
 
     fn model() -> GraphExModel {
         let mut config = GraphExConfig::default();
@@ -90,40 +95,56 @@ mod tests {
         let model = model();
         let titles: Vec<String> =
             (0..40).map(|i| format!("brand{i} model{i} widget deluxe edition")).collect();
-        let requests: Vec<InferRequest> =
-            titles.iter().enumerate().map(|(i, t)| InferRequest::new(t, LeafId(i as u32 % 5))).collect();
-        let params = InferenceParams::with_k(10);
-        let seq = batch_infer(&model, &requests, &params, 1);
-        let par = batch_infer(&model, &requests, &params, 4);
-        assert_eq!(seq.len(), par.len());
-        for (a, b) in seq.iter().zip(&par) {
-            let ka: Vec<u32> = a.iter().map(|p| p.keyphrase).collect();
-            let kb: Vec<u32> = b.iter().map(|p| p.keyphrase).collect();
-            assert_eq!(ka, kb);
-        }
+        let requests: Vec<InferRequest<'_>> = titles
+            .iter()
+            .enumerate()
+            .map(|(i, t)| InferRequest::new(t, LeafId(i as u32 % 5)).k(10))
+            .collect();
+        let seq = batch_infer(&model, &requests, 1);
+        let par = batch_infer(&model, &requests, 4);
+        assert_eq!(seq, par);
     }
 
     #[test]
-    fn unknown_leaf_in_batch_is_empty_not_fatal() {
+    fn per_request_params_are_honoured() {
         let model = model();
-        let requests = [InferRequest::new("brand1 model1 widget", LeafId(1)), InferRequest::new("anything", LeafId(999))];
-        let out = batch_infer(&model, &requests, &InferenceParams::with_k(5), 2);
-        assert!(!out[0].is_empty());
+        let title = "brand1 model1 widget deluxe";
+        let requests = [
+            InferRequest::new(title, LeafId(1)).k(1),
+            InferRequest::new(title, LeafId(1)).k(10).resolve_texts(true),
+        ];
+        let out = batch_infer(&model, &requests, 2);
+        assert_eq!(out[0].predictions.len(), 1);
+        assert!(out[1].predictions.len() > 1);
+        assert!(out[0].texts.is_empty());
+        assert_eq!(out[1].texts.len(), out[1].predictions.len());
+    }
+
+    #[test]
+    fn unknown_leaf_in_batch_is_reported_not_fatal() {
+        let model = model();
+        let requests = [
+            InferRequest::new("brand1 model1 widget", LeafId(1)).k(5),
+            InferRequest::new("anything", LeafId(999)).k(5),
+        ];
+        let out = batch_infer(&model, &requests, 2);
+        assert_eq!(out[0].outcome, Outcome::ExactLeaf);
+        assert_eq!(out[1].outcome, Outcome::UnknownLeaf);
         assert!(out[1].is_empty());
     }
 
     #[test]
     fn empty_batch() {
         let model = model();
-        let out = batch_infer(&model, &[], &InferenceParams::with_k(5), 0);
+        let out = batch_infer(&model, &[], 0);
         assert!(out.is_empty());
     }
 
     #[test]
     fn zero_threads_means_all_cores() {
         let model = model();
-        let requests = [InferRequest::new("brand1 model1 widget", LeafId(1))];
-        let out = batch_infer(&model, &requests, &InferenceParams::with_k(5), 0);
+        let requests = [InferRequest::new("brand1 model1 widget", LeafId(1)).k(5)];
+        let out = batch_infer(&model, &requests, 0);
         assert_eq!(out.len(), 1);
     }
 }

@@ -295,8 +295,10 @@ mod tests {
             ("usb c wall charger", LeafId(9)),
             ("anything unknown", LeafId(12345)),
         ] {
-            let a = model.infer_simple(title, leaf, 10);
-            let b = restored.infer_simple(title, leaf, 10);
+            let mut scratch = crate::Scratch::new();
+            let req = crate::InferRequest::new(title, leaf).k(10);
+            let a = model.infer_request(&req, &mut scratch).predictions;
+            let b = restored.infer_request(&req, &mut scratch).predictions;
             assert_eq!(a.len(), b.len());
             for (x, y) in a.iter().zip(&b) {
                 assert_eq!(model.keyphrase_text(x.keyphrase), restored.keyphrase_text(y.keyphrase));

@@ -149,12 +149,13 @@ proptest! {
         let model = GraphExBuilder::new(no_curation()).add_records(recs).build().unwrap();
         let bytes = graphex_core::serialize::to_bytes(&model);
         let restored = graphex_core::serialize::from_bytes(&bytes).unwrap();
+        let mut scratch = Scratch::new();
         for leaf in model.leaf_ids().collect::<Vec<_>>() {
-            let a = model.infer_simple(&title, leaf, 20);
-            let b = restored.infer_simple(&title, leaf, 20);
-            let ta: Vec<&str> = a.iter().map(|p| model.keyphrase_text(p.keyphrase).unwrap()).collect();
-            let tb: Vec<&str> = b.iter().map(|p| restored.keyphrase_text(p.keyphrase).unwrap()).collect();
-            prop_assert_eq!(ta, tb);
+            let req = graphex_core::InferRequest::new(&title, leaf).k(20).resolve_texts(true);
+            let a = model.infer_request(&req, &mut scratch);
+            let b = restored.infer_request(&req, &mut scratch);
+            prop_assert_eq!(a.outcome, b.outcome);
+            prop_assert_eq!(a.texts, b.texts);
         }
     }
 

@@ -215,8 +215,9 @@ mod tests {
         let new_q = &evolved[evolved.len() - 1];
         assert!(model.keyphrase_id(&new_q.text).is_some() || {
             // normalization may alter the text; check via inference instead
-            let preds = model.infer_simple(&new_q.text, new_q.leaf, 5);
-            !preds.is_empty()
+            let mut scratch = graphex_core::Scratch::new();
+            let req = graphex_core::InferRequest::new(&new_q.text, new_q.leaf).k(5);
+            !model.infer_request(&req, &mut scratch).is_empty()
         });
     }
 }

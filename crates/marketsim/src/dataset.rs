@@ -146,8 +146,12 @@ mod tests {
             .build()
             .unwrap();
         let item = &ds.marketplace.items[0];
-        let preds = model.infer_simple(&item.title, item.leaf, 10);
-        assert!(!preds.is_empty(), "no predictions for {:?}", item.title);
+        let mut scratch = graphex_core::Scratch::new();
+        let response = model.infer_request(
+            &graphex_core::InferRequest::new(&item.title, item.leaf).k(10),
+            &mut scratch,
+        );
+        assert!(!response.is_empty(), "no predictions for {:?}", item.title);
     }
 
     #[test]

@@ -5,12 +5,30 @@
 //! store. A miss (item listed seconds ago, NRT still in flight, or a cold
 //! path after a store wipe) triggers synchronous inference and a
 //! write-back, so the caller never sees an empty answer for a servable
-//! item. Counters expose the hit ratio operators watch.
+//! item. Requests are [`InferRequest`] envelopes — per-request `k` and
+//! alignment ride through to inference — and every response carries the
+//! [`Outcome`] that explains it; counters are keyed by both source and
+//! outcome.
+//!
+//! Two concurrency properties the old design lacked, both load-bearing at
+//! production fan-in:
+//!
+//! * **No global scratch lock.** Read-through inference draws a scratch
+//!   from the shared [`Engine`] pool per call; concurrent misses infer in
+//!   parallel instead of serializing behind one `Mutex<Scratch>` (measured
+//!   by `crates/bench/benches/serving_read_path.rs`).
+//! * **Single-flight read-through.** Concurrent misses on the *same* item
+//!   coalesce: one caller (the leader) runs inference and writes back
+//!   exactly once; the rest wait for the leader's answer. The KV version
+//!   therefore bumps once per item, not once per concurrent caller.
 
 use crate::kv::KvStore;
-use graphex_core::{GraphExModel, InferenceParams, LeafId, Scratch};
+use graphex_core::{
+    Engine, GraphExModel, InferRequest, InferResponse, KeyphraseService, LeafId, Outcome,
+};
+use graphex_textkit::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 /// Where a response came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,6 +37,13 @@ pub enum ServeSource {
     Store,
     /// Computed synchronously on miss and written back.
     ReadThrough,
+    /// Another caller's in-flight read-through produced a servable answer
+    /// for this request (single-flight coalescing; nothing was recomputed
+    /// or rewritten). An unservable leader answer keeps
+    /// [`ServeSource::None`] for every coalesced caller too.
+    Coalesced,
+    /// Computed for an id-less request: served, but never stored.
+    Direct,
     /// No recommendations derivable (unknown leaf without fallback, or no
     /// candidate keyphrases).
     None,
@@ -29,71 +54,316 @@ pub enum ServeSource {
 pub struct Served {
     pub keyphrases: Vec<String>,
     pub source: ServeSource,
+    /// Inference provenance (echoed from the store on a hit).
+    pub outcome: Outcome,
+    /// Per-keyphrase ranking attributes, parallel to `keyphrases`, for
+    /// responses computed by this call (read-through / coalesced /
+    /// direct). Empty on store hits — the KV store holds texts only.
+    pub predictions: Vec<graphex_core::Prediction>,
 }
 
-/// Read-through serving facade.
+/// One in-flight read-through; followers block on `ready` until the leader
+/// publishes the result.
+#[derive(Default)]
+struct Flight {
+    result: Mutex<Option<Served>>,
+    ready: Condvar,
+}
+
+impl Flight {
+    fn publish(&self, served: Served) {
+        *self.result.lock().unwrap_or_else(PoisonError::into_inner) = Some(served);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Served {
+        let mut guard = self.result.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(served) = &*guard {
+                return served.clone();
+            }
+            guard = self.ready.wait(guard).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Read-through serving facade: a [`KeyphraseService`] backed by the KV
+/// store with an [`Engine`] behind it.
 pub struct ServingApi {
-    model: Arc<GraphExModel>,
+    engine: Engine,
     store: Arc<KvStore>,
-    params: InferenceParams,
-    hits: AtomicU64,
+    default_k: usize,
+    store_hits: AtomicU64,
     read_throughs: AtomicU64,
-    misses: AtomicU64,
-    scratch: parking_lot::Mutex<Scratch>,
+    coalesced: AtomicU64,
+    direct: AtomicU64,
+    unservable: AtomicU64,
+    /// Responses by [`Outcome::index`].
+    outcomes: [AtomicU64; 4],
+    /// item id → in-flight read-through (single-flight).
+    inflight: Mutex<FxHashMap<u64, Arc<Flight>>>,
 }
 
-/// Hit/miss counters snapshot.
+/// Counters snapshot, keyed by source and by [`Outcome`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeStats {
     pub store_hits: u64,
     pub read_throughs: u64,
+    /// Requests answered by another caller's in-flight inference.
+    pub coalesced: u64,
+    /// Id-less requests computed without store interaction.
+    pub direct: u64,
     pub unservable: u64,
+    /// Every response tallied by its inference outcome.
+    pub outcomes: graphex_core::OutcomeCounts,
 }
 
 impl ServingApi {
-    pub fn new(model: Arc<GraphExModel>, store: Arc<KvStore>, k: usize) -> Self {
+    /// Serving facade over a shared model; `default_k` applies to
+    /// [`ServingApi::serve`] calls (envelope requests carry their own `k`).
+    pub fn new(model: Arc<GraphExModel>, store: Arc<KvStore>, default_k: usize) -> Self {
+        Self::with_engine(Engine::new(model), store, default_k)
+    }
+
+    /// Serving facade sharing an existing engine (and its scratch pool).
+    pub fn with_engine(engine: Engine, store: Arc<KvStore>, default_k: usize) -> Self {
         Self {
-            model,
+            engine,
             store,
-            params: InferenceParams::with_k(k),
-            hits: AtomicU64::new(0),
+            default_k,
+            store_hits: AtomicU64::new(0),
             read_throughs: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            scratch: parking_lot::Mutex::new(Scratch::new()),
+            coalesced: AtomicU64::new(0),
+            direct: AtomicU64::new(0),
+            unservable: AtomicU64::new(0),
+            outcomes: Default::default(),
+            inflight: Mutex::new(FxHashMap::default()),
         }
     }
 
-    /// Serves keyphrases for an item, computing on store miss.
-    pub fn serve(&self, item_id: u32, title: &str, leaf: LeafId) -> Served {
-        if let Some(stored) = self.store.get(item_id) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Served { keyphrases: stored.keyphrases, source: ServeSource::Store };
-        }
-        let preds = {
-            let mut scratch = self.scratch.lock();
-            self.model.infer(title, leaf, &self.params, &mut scratch).unwrap_or_default()
+    /// The engine serving read-through inference.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Serves keyphrases for an item, computing on store miss — the
+    /// classic three-argument entry, now a thin wrapper over
+    /// [`ServingApi::serve_request`].
+    pub fn serve(&self, item_id: u64, title: &str, leaf: LeafId) -> Served {
+        self.serve_request(
+            &InferRequest::new(title, leaf).k(self.default_k).id(item_id).resolve_texts(true),
+        )
+    }
+
+    /// Serves one envelope request.
+    ///
+    /// Requests with an [`InferRequest::id`] use it as the KV key: store
+    /// hit, else single-flight read-through with write-back. Requests
+    /// without an id are computed directly and never stored (there is no
+    /// key to store them under).
+    ///
+    /// Cache semantics for per-request overrides: the store holds *one*
+    /// precomputed answer per item, so a store hit (or a coalesced
+    /// answer) serves that answer truncated to the request's `k`; a `k`
+    /// larger than what was stored, or an alignment override, cannot
+    /// re-rank a cached answer. Send the request id-less to force a
+    /// fresh computation with full override fidelity.
+    pub fn serve_request(&self, request: &InferRequest<'_>) -> Served {
+        let Some(item) = request.id else {
+            let served = self.compute(request);
+            self.count(&served);
+            return served;
         };
-        if preds.is_empty() {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            return Served { keyphrases: Vec::new(), source: ServeSource::None };
+
+        // Miss path: elect a leader for this item, or join an existing
+        // flight. The loop re-enters only when the double-check sees a
+        // completed leader, in which case the next store read hits.
+        enum Role {
+            Leader(Arc<Flight>),
+            Follower(Arc<Flight>),
         }
-        let texts: Vec<String> = preds
-            .iter()
-            .filter_map(|p| self.model.keyphrase_text(p.keyphrase))
-            .map(str::to_string)
-            .collect();
-        self.store.put(item_id, texts.clone());
-        self.read_throughs.fetch_add(1, Ordering::Relaxed);
-        Served { keyphrases: texts, source: ServeSource::ReadThrough }
+        loop {
+            if let Some(stored) = self.store.get(item) {
+                return self.count_hit(stored, request.k);
+            }
+            let role = {
+                let mut inflight = self.lock_inflight();
+                // Double-check under the map lock: the leader writes the
+                // store *before* clearing its flight entry, so a concurrent
+                // completion is visible here. Only a presence probe runs
+                // under the global lock — the record fetch happens
+                // lock-free on the next pass, so concurrent misses on
+                // distinct items don't serialize on a store clone.
+                if self.store.contains(item) {
+                    continue;
+                }
+                if let Some(flight) = inflight.get(&item) {
+                    Role::Follower(Arc::clone(flight))
+                } else {
+                    let flight = Arc::new(Flight::default());
+                    inflight.insert(item, Arc::clone(&flight));
+                    Role::Leader(flight)
+                }
+            };
+
+            return match role {
+                Role::Follower(flight) => {
+                    let mut served = flight.wait();
+                    // Only a servable answer counts as coalescing;
+                    // unservable stays `None` so callers' fallback logic is
+                    // deterministic.
+                    if served.source != ServeSource::None {
+                        served.source = ServeSource::Coalesced;
+                    }
+                    // The leader computed with its own k; honour this
+                    // request's budget where possible (see docs above).
+                    served.keyphrases.truncate(request.k);
+                    served.predictions.truncate(request.k);
+                    self.count(&served);
+                    served
+                }
+                Role::Leader(flight) => {
+                    // Panic safety: if inference panics, the guard clears
+                    // the flight entry and publishes an unservable answer,
+                    // so followers unblock and later requests retry instead
+                    // of joining a wedged flight forever.
+                    let mut guard = LeaderGuard { api: self, item, flight: &flight, armed: true };
+                    let served = self.compute(request);
+                    if served.outcome.is_servable() {
+                        self.store.put(item, served.keyphrases.clone(), served.outcome);
+                    }
+                    // Store write is published; only now may new callers
+                    // miss the flight entry (they re-check the store under
+                    // the lock).
+                    self.lock_inflight().remove(&item);
+                    flight.publish(served.clone());
+                    guard.armed = false;
+                    self.count(&served);
+                    served
+                }
+            };
+        }
+    }
+
+    /// Serves a slice of requests, in order (Fig. 7's multi-item inference
+    /// API call). Store hits are answered inline; the misses ride the same
+    /// single-flight read-through path as [`ServingApi::serve_request`].
+    pub fn serve_batch(&self, requests: &[InferRequest<'_>]) -> Vec<Served> {
+        requests.iter().map(|r| self.serve_request(r)).collect()
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> ServeStats {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         ServeStats {
-            store_hits: self.hits.load(Ordering::Relaxed),
-            read_throughs: self.read_throughs.load(Ordering::Relaxed),
-            unservable: self.misses.load(Ordering::Relaxed),
+            store_hits: load(&self.store_hits),
+            read_throughs: load(&self.read_throughs),
+            coalesced: load(&self.coalesced),
+            direct: load(&self.direct),
+            unservable: load(&self.unservable),
+            outcomes: graphex_core::OutcomeCounts {
+                exact_leaf: load(&self.outcomes[Outcome::ExactLeaf.index()]),
+                meta_fallback: load(&self.outcomes[Outcome::MetaFallback.index()]),
+                unknown_leaf: load(&self.outcomes[Outcome::UnknownLeaf.index()]),
+                empty: load(&self.outcomes[Outcome::Empty.index()]),
+            },
         }
+    }
+
+    /// Pure inference through the engine pool (no store interaction).
+    /// Text resolution is forced only when the answer can reach the store
+    /// (the store holds texts); id-less requests keep the caller's
+    /// `resolve_texts` choice, matching the `Engine` trait behaviour.
+    fn compute(&self, request: &InferRequest<'_>) -> Served {
+        let request =
+            if request.id.is_some() { request.resolve_texts(true) } else { *request };
+        let response = self.engine.infer(&request);
+        let source = if !response.outcome.is_servable() {
+            ServeSource::None
+        } else if request.id.is_some() {
+            ServeSource::ReadThrough
+        } else {
+            ServeSource::Direct
+        };
+        Served {
+            keyphrases: response.texts,
+            source,
+            outcome: response.outcome,
+            predictions: response.predictions,
+        }
+    }
+
+    fn count_hit(&self, stored: crate::kv::StoredRecs, k: usize) -> Served {
+        let mut keyphrases = stored.keyphrases;
+        keyphrases.truncate(k);
+        let served = Served {
+            keyphrases,
+            source: ServeSource::Store,
+            outcome: stored.outcome,
+            predictions: Vec::new(),
+        };
+        self.count(&served);
+        served
+    }
+
+    fn count(&self, served: &Served) {
+        let counter = match served.source {
+            ServeSource::Store => &self.store_hits,
+            ServeSource::ReadThrough => &self.read_throughs,
+            ServeSource::Coalesced => &self.coalesced,
+            ServeSource::Direct => &self.direct,
+            ServeSource::None => &self.unservable,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.outcomes[served.outcome.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn lock_inflight(&self) -> std::sync::MutexGuard<'_, FxHashMap<u64, Arc<Flight>>> {
+        self.inflight.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Unwinding-safety net for the single-flight leader (see
+/// [`ServingApi::serve_request`]): on panic, clear the in-flight entry and
+/// wake followers with an unservable answer rather than wedging the item.
+struct LeaderGuard<'a> {
+    api: &'a ServingApi,
+    item: u64,
+    flight: &'a Flight,
+    armed: bool,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.api.lock_inflight().remove(&self.item);
+            self.flight.publish(Served {
+                keyphrases: Vec::new(),
+                source: ServeSource::None,
+                outcome: Outcome::Empty,
+                predictions: Vec::new(),
+            });
+        }
+    }
+}
+
+impl KeyphraseService for ServingApi {
+    /// Store-backed inference: freshly computed answers (read-through /
+    /// coalesced / direct) carry full prediction attributes; store hits
+    /// carry texts only — the KV store holds strings, not
+    /// [`graphex_core::Prediction`]s.
+    fn infer(&self, request: &InferRequest<'_>) -> InferResponse {
+        let served = self.serve_request(request);
+        InferResponse {
+            id: request.id,
+            outcome: served.outcome,
+            predictions: served.predictions,
+            texts: served.keyphrases,
+        }
+    }
+
+    fn infer_batch(&self, requests: &[InferRequest<'_>]) -> Vec<InferResponse> {
+        requests.iter().map(|r| self.infer(r)).collect()
     }
 }
 
@@ -117,12 +387,14 @@ mod tests {
     #[test]
     fn store_hit_is_served_verbatim() {
         let store = Arc::new(KvStore::new());
-        store.put(7, vec!["precomputed".into()]);
+        store.put(7, vec!["precomputed".into()], Outcome::ExactLeaf);
         let api = ServingApi::new(model(), store, 10);
         let served = api.serve(7, "widget gadget", LeafId(1));
         assert_eq!(served.source, ServeSource::Store);
+        assert_eq!(served.outcome, Outcome::ExactLeaf);
         assert_eq!(served.keyphrases, ["precomputed"]);
         assert_eq!(api.stats().store_hits, 1);
+        assert_eq!(api.stats().outcomes.exact_leaf, 1);
     }
 
     #[test]
@@ -131,13 +403,16 @@ mod tests {
         let api = ServingApi::new(model(), store.clone(), 10);
         let served = api.serve(9, "widget gadget pro thing", LeafId(1));
         assert_eq!(served.source, ServeSource::ReadThrough);
+        assert_eq!(served.outcome, Outcome::ExactLeaf);
         assert!(!served.keyphrases.is_empty());
         // Written back: second call hits the store with identical payload.
         let again = api.serve(9, "widget gadget pro thing", LeafId(1));
         assert_eq!(again.source, ServeSource::Store);
         assert_eq!(again.keyphrases, served.keyphrases);
+        assert_eq!(again.outcome, served.outcome);
         let stats = api.stats();
         assert_eq!((stats.store_hits, stats.read_throughs), (1, 1));
+        assert_eq!(stats.outcomes.exact_leaf, 2);
     }
 
     #[test]
@@ -146,9 +421,116 @@ mod tests {
         let api = ServingApi::new(model(), store.clone(), 10);
         let served = api.serve(3, "no tokens match here", LeafId(999));
         assert_eq!(served.source, ServeSource::None);
+        assert_eq!(served.outcome, Outcome::UnknownLeaf);
         assert!(served.keyphrases.is_empty());
         assert!(store.get(3).is_none());
-        assert_eq!(api.stats().unservable, 1);
+        let stats = api.stats();
+        assert_eq!(stats.unservable, 1);
+        assert_eq!(stats.outcomes.unknown_leaf, 1);
+    }
+
+    #[test]
+    fn per_request_k_overrides_the_default() {
+        let mut config = GraphExConfig::default();
+        config.curation.min_search_count = 0;
+        let model = Arc::new(
+            GraphExBuilder::new(config)
+                .add_records(vec![
+                    KeyphraseRecord::new("widget gadget", LeafId(1), 90, 5),
+                    KeyphraseRecord::new("widget gadget pro", LeafId(1), 50, 5),
+                    KeyphraseRecord::new("widget gadget pro max", LeafId(1), 30, 5),
+                ])
+                .build()
+                .unwrap(),
+        );
+        let api = ServingApi::new(model, Arc::new(KvStore::new()), 10);
+        let one = api
+            .serve_request(&InferRequest::new("widget gadget pro max", LeafId(1)).k(1).id(1));
+        assert_eq!(one.keyphrases.len(), 1);
+        let all = api
+            .serve_request(&InferRequest::new("widget gadget pro max", LeafId(1)).k(10).id(2));
+        assert_eq!(all.keyphrases.len(), 3);
+    }
+
+    #[test]
+    fn store_hit_truncates_to_request_k() {
+        let store = Arc::new(KvStore::new());
+        store.put(7, vec!["a".into(), "b".into(), "c".into()], Outcome::ExactLeaf);
+        let api = ServingApi::new(model(), store, 10);
+        let one = api.serve_request(&InferRequest::new("ignored", LeafId(1)).k(1).id(7));
+        assert_eq!(one.source, ServeSource::Store);
+        assert_eq!(one.keyphrases, ["a"]);
+        // k larger than what was stored serves everything stored.
+        let all = api.serve_request(&InferRequest::new("ignored", LeafId(1)).k(10).id(7));
+        assert_eq!(all.keyphrases, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn computed_answers_carry_prediction_attributes() {
+        let api = ServingApi::new(model(), Arc::new(KvStore::new()), 10);
+        let fresh = api.serve_request(&InferRequest::new("widget gadget pro", LeafId(1)).k(5).id(4));
+        assert_eq!(fresh.source, ServeSource::ReadThrough);
+        assert_eq!(fresh.predictions.len(), fresh.keyphrases.len());
+        assert!(fresh.predictions[0].matched > 0);
+        // The same item served again comes from the store: texts only.
+        let hit = api.serve_request(&InferRequest::new("widget gadget pro", LeafId(1)).k(5).id(4));
+        assert_eq!(hit.source, ServeSource::Store);
+        assert!(hit.predictions.is_empty());
+        assert_eq!(hit.keyphrases, fresh.keyphrases);
+    }
+
+    #[test]
+    fn idless_requests_are_served_but_never_stored() {
+        let store = Arc::new(KvStore::new());
+        let api = ServingApi::new(model(), store.clone(), 10);
+        let served = api.serve_request(
+            &InferRequest::new("widget gadget pro", LeafId(1)).k(5).resolve_texts(true),
+        );
+        assert_eq!(served.source, ServeSource::Direct);
+        assert!(!served.keyphrases.is_empty());
+        assert!(store.is_empty());
+        assert_eq!(api.stats().direct, 1);
+        // Without resolve_texts, id-less requests honour the caller's
+        // choice (same contract as the raw Engine): predictions only.
+        let ids_only = api.serve_request(&InferRequest::new("widget gadget pro", LeafId(1)).k(5));
+        assert!(ids_only.keyphrases.is_empty());
+        assert!(!ids_only.predictions.is_empty());
+        assert_eq!(ids_only.outcome, Outcome::ExactLeaf);
+    }
+
+    #[test]
+    fn serve_batch_mixes_hits_and_read_throughs() {
+        let store = Arc::new(KvStore::new());
+        store.put(1, vec!["stored".into()], Outcome::ExactLeaf);
+        let api = ServingApi::new(model(), store, 10);
+        let requests = [
+            InferRequest::new("irrelevant title", LeafId(1)).k(5).id(1), // hit
+            InferRequest::new("widget gadget pro", LeafId(1)).k(5).id(2), // read-through
+            InferRequest::new("nothing matches", LeafId(999)).k(5).id(3), // unservable
+        ];
+        let served = api.serve_batch(&requests);
+        assert_eq!(served[0].source, ServeSource::Store);
+        assert_eq!(served[0].keyphrases, ["stored"]);
+        assert_eq!(served[1].source, ServeSource::ReadThrough);
+        assert_eq!(served[2].source, ServeSource::None);
+        let stats = api.stats();
+        assert_eq!((stats.store_hits, stats.read_throughs, stats.unservable), (1, 1, 1));
+    }
+
+    #[test]
+    fn keyphrase_service_trait_surface() {
+        let store = Arc::new(KvStore::new());
+        let api = ServingApi::new(model(), store, 10);
+        let service: &dyn KeyphraseService = &api;
+        let responses = service.infer_batch(&[
+            InferRequest::new("widget gadget pro", LeafId(1)).k(5).id(11),
+            InferRequest::new("nothing", LeafId(999)).k(5).id(12),
+        ]);
+        assert_eq!(responses[0].outcome, Outcome::ExactLeaf);
+        assert_eq!(responses[0].id, Some(11));
+        assert!(!responses[0].texts.is_empty());
+        assert_eq!(responses[1].outcome, Outcome::UnknownLeaf);
+        assert!(responses[1].is_empty());
     }
 
     #[test]
@@ -156,10 +538,10 @@ mod tests {
         let store = Arc::new(KvStore::new());
         let api = Arc::new(ServingApi::new(model(), store, 10));
         let mut handles = Vec::new();
-        for t in 0..4u32 {
+        for t in 0..4u64 {
             let api = api.clone();
             handles.push(std::thread::spawn(move || {
-                for i in 0..200u32 {
+                for i in 0..200u64 {
                     let id = (t * 1000 + i) % 50; // force hit/miss mixture
                     let s = api.serve(id, "widget gadget pro", LeafId(1));
                     assert_ne!(s.source, ServeSource::None);
@@ -170,7 +552,78 @@ mod tests {
             h.join().unwrap();
         }
         let stats = api.stats();
-        assert_eq!(stats.store_hits + stats.read_throughs, 800);
-        assert!(stats.read_throughs >= 50); // each distinct id computed once-ish
+        assert_eq!(
+            stats.store_hits + stats.read_throughs + stats.coalesced,
+            800,
+            "every request answered from store, read-through, or coalescing"
+        );
+        assert_eq!(stats.outcomes.exact_leaf, 800);
+    }
+
+    /// Single-flight regression: a stampede of concurrent misses on one
+    /// item must run inference and write the store exactly once — the KV
+    /// version stays 1 no matter how many callers raced.
+    #[test]
+    fn read_through_stampede_bumps_version_once() {
+        for _round in 0..20 {
+            let store = Arc::new(KvStore::new());
+            let api = Arc::new(ServingApi::new(model(), store.clone(), 10));
+            let barrier = Arc::new(std::sync::Barrier::new(8));
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                let api = api.clone();
+                let barrier = barrier.clone();
+                handles.push(std::thread::spawn(move || {
+                    barrier.wait();
+                    api.serve(42, "widget gadget pro", LeafId(1))
+                }));
+            }
+            let answers: Vec<Served> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            // One write, no matter how the 8 callers interleaved.
+            assert_eq!(store.get(42).unwrap().version, 1, "stampede bumped the version");
+            // Everyone got the same keyphrases, each from a valid source.
+            for s in &answers {
+                assert_eq!(s.keyphrases, answers[0].keyphrases);
+                assert_ne!(s.source, ServeSource::None);
+            }
+            let stats = api.stats();
+            assert_eq!(stats.read_throughs, 1, "exactly one leader ran inference");
+            assert_eq!(
+                stats.read_throughs + stats.coalesced + stats.store_hits,
+                8,
+                "all callers accounted for"
+            );
+        }
+    }
+
+    /// Unservable single-flight: coalesced followers of an unservable
+    /// leader also see an unservable answer, and nothing is stored.
+    #[test]
+    fn stampede_on_unservable_item_stores_nothing() {
+        let store = Arc::new(KvStore::new());
+        let api = Arc::new(ServingApi::new(model(), store.clone(), 10));
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let api = api.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    api.serve(13, "zz qq", LeafId(999))
+                })
+            })
+            .collect();
+        for h in handles {
+            let served = h.join().unwrap();
+            assert!(served.keyphrases.is_empty());
+            assert_eq!(served.outcome, Outcome::UnknownLeaf);
+            // Unservable stays `None` even for coalesced followers, so
+            // caller fallback logic never depends on race timing.
+            assert_eq!(served.source, ServeSource::None);
+        }
+        assert!(store.is_empty());
+        let stats = api.stats();
+        assert_eq!(stats.unservable, 4);
+        assert_eq!(stats.coalesced, 0);
     }
 }

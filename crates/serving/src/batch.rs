@@ -3,11 +3,15 @@
 //! Paper Sec. IV-H: "The batch inference is done in two parts: 1) for all
 //! items in eBay, and 2) daily differential, i.e. the difference of all new
 //! items created/revised and then merged with the old existing items."
-//! Results land in the KV store the serving API reads.
+//! Results land in the KV store the serving API reads. The pipeline rides
+//! [`graphex_core::parallel::batch_infer`] with one [`InferRequest`]
+//! envelope per item, and the report tallies every item's
+//! [`graphex_core::Outcome`] so a batch run says *why* items were
+//! skipped, not just how many.
 
 use crate::kv::KvStore;
-use graphex_core::parallel::{batch_infer, InferRequest};
-use graphex_core::{GraphExModel, InferenceParams, LeafId};
+use graphex_core::parallel::batch_infer;
+use graphex_core::{GraphExModel, InferRequest, LeafId, OutcomeCounts};
 
 /// A batch work item (owned so pipelines can be fed from any source).
 #[derive(Debug, Clone)]
@@ -23,6 +27,8 @@ pub struct BatchReport {
     pub items_processed: usize,
     pub items_with_recommendations: usize,
     pub total_keyphrases: usize,
+    /// Per-outcome tallies (`unknown_leaf` + `empty` = skipped items).
+    pub outcomes: OutcomeCounts,
     pub elapsed_ms: u128,
 }
 
@@ -30,14 +36,14 @@ pub struct BatchReport {
 pub struct BatchPipeline<'a> {
     model: &'a GraphExModel,
     store: &'a KvStore,
-    params: InferenceParams,
+    k: usize,
     threads: usize,
 }
 
 impl<'a> BatchPipeline<'a> {
     /// `threads = 0` uses all cores (the paper's batch node uses 70).
     pub fn new(model: &'a GraphExModel, store: &'a KvStore, k: usize, threads: usize) -> Self {
-        Self { model, store, params: InferenceParams::with_k(k), threads }
+        Self { model, store, k, threads }
     }
 
     /// Full pass over `items` ("for all items in eBay").
@@ -55,28 +61,33 @@ impl<'a> BatchPipeline<'a> {
 
     fn run(&self, items: &[BatchItem]) -> BatchReport {
         let start = std::time::Instant::now();
-        let requests: Vec<InferRequest<'_>> =
-            items.iter().map(|i| InferRequest::new(&i.title, i.leaf)).collect();
-        let results = batch_infer(self.model, &requests, &self.params, self.threads);
+        let requests: Vec<InferRequest<'_>> = items
+            .iter()
+            .map(|i| {
+                InferRequest::new(&i.title, i.leaf)
+                    .k(self.k)
+                    .id(u64::from(i.id))
+                    .resolve_texts(true)
+            })
+            .collect();
+        let responses = batch_infer(self.model, &requests, self.threads);
         let mut with_recs = 0usize;
         let mut total = 0usize;
-        for (item, preds) in items.iter().zip(results) {
-            if preds.is_empty() {
+        let mut outcomes = OutcomeCounts::default();
+        for (item, response) in items.iter().zip(responses) {
+            outcomes.record(response.outcome);
+            if !response.is_servable() {
                 continue;
             }
             with_recs += 1;
-            total += preds.len();
-            let texts: Vec<String> = preds
-                .iter()
-                .filter_map(|p| self.model.keyphrase_text(p.keyphrase))
-                .map(str::to_string)
-                .collect();
-            self.store.put(item.id, texts);
+            total += response.texts.len();
+            self.store.put(u64::from(item.id), response.texts, response.outcome);
         }
         BatchReport {
             items_processed: items.len(),
             items_with_recommendations: with_recs,
             total_keyphrases: total,
+            outcomes,
             elapsed_ms: start.elapsed().as_millis(),
         }
     }
@@ -85,7 +96,7 @@ impl<'a> BatchPipeline<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphex_core::{GraphExBuilder, GraphExConfig, KeyphraseRecord};
+    use graphex_core::{GraphExBuilder, GraphExConfig, KeyphraseRecord, Outcome};
 
     fn model() -> GraphExModel {
         let mut config = GraphExConfig::default();
@@ -117,11 +128,13 @@ mod tests {
         let report = pipeline.run_full(&batch);
         assert_eq!(report.items_processed, 50);
         assert_eq!(report.items_with_recommendations, 50);
+        assert_eq!(report.outcomes.exact_leaf, 50);
         assert_eq!(store.len(), 50);
         assert!(report.total_keyphrases >= 50);
         for item in &batch {
-            let recs = store.get(item.id).unwrap();
+            let recs = store.get(u64::from(item.id)).unwrap();
             assert!(!recs.keyphrases.is_empty());
+            assert_eq!(recs.outcome, Outcome::ExactLeaf);
         }
     }
 
@@ -132,7 +145,8 @@ mod tests {
         let pipeline = BatchPipeline::new(&model, &store, 10, 2);
         let batch = items(20);
         pipeline.run_full(&batch);
-        let v_before: Vec<u32> = batch.iter().map(|i| store.get(i.id).unwrap().version).collect();
+        let v_before: Vec<u32> =
+            batch.iter().map(|i| store.get(u64::from(i.id)).unwrap().version).collect();
 
         // Revise items 0 and 1.
         let mut changed = vec![batch[0].clone(), batch[1].clone()];
@@ -144,7 +158,7 @@ mod tests {
         assert_eq!(store.get(0).unwrap().version, v_before[0] + 1);
         assert_eq!(store.get(1).unwrap().version, v_before[1] + 1);
         for item in &batch[2..] {
-            assert_eq!(store.get(item.id).unwrap().version, 1, "untouched item re-written");
+            assert_eq!(store.get(u64::from(item.id)).unwrap().version, 1, "untouched item re-written");
         }
         // Revised title → revised keyphrases.
         assert!(store.get(0).unwrap().keyphrases.iter().any(|k| k.contains("model3")));
@@ -167,6 +181,7 @@ mod tests {
             leaf: LeafId(99),
         }]);
         assert_eq!(report.items_with_recommendations, 0);
+        assert_eq!(report.outcomes.unknown_leaf, 1);
         assert!(store.get(9).is_none());
     }
 
@@ -178,5 +193,6 @@ mod tests {
         let report = pipeline.run_full(&[]);
         assert_eq!(report.items_processed, 0);
         assert_eq!(report.total_keyphrases, 0);
+        assert_eq!(report.outcomes.total(), 0);
     }
 }

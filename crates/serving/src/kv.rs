@@ -2,8 +2,11 @@
 //!
 //! Item id → recommended keyphrases. Sharded `RwLock`s keep the batch
 //! writers and NRT writers from serializing behind one lock; readers (the
-//! serving API) take shared locks only.
+//! serving API) take shared locks only. Each record carries the
+//! [`Outcome`] the inference reported when it was computed, so a store hit
+//! can echo the same provenance a fresh inference would.
 
+use graphex_core::Outcome;
 use graphex_textkit::FxHashMap;
 use parking_lot::RwLock;
 
@@ -17,12 +20,15 @@ pub struct StoredRecs {
     /// Monotonic version (bumped on every overwrite; lets tests and
     /// consumers detect refreshes).
     pub version: u32,
+    /// Provenance of the inference that produced these keyphrases
+    /// (exact-leaf graph vs. meta fallback).
+    pub outcome: Outcome,
 }
 
 /// Concurrent item → keyphrases store.
 #[derive(Debug)]
 pub struct KvStore {
-    shards: Vec<RwLock<FxHashMap<u32, StoredRecs>>>,
+    shards: Vec<RwLock<FxHashMap<u64, StoredRecs>>>,
 }
 
 impl Default for KvStore {
@@ -37,27 +43,34 @@ impl KvStore {
     }
 
     #[inline]
-    fn shard(&self, item: u32) -> &RwLock<FxHashMap<u32, StoredRecs>> {
+    fn shard(&self, item: u64) -> &RwLock<FxHashMap<u64, StoredRecs>> {
         &self.shards[(item as usize) & (SHARDS - 1)]
     }
 
     /// Writes (or overwrites) an item's keyphrases, bumping the version.
-    pub fn put(&self, item: u32, keyphrases: Vec<String>) {
+    pub fn put(&self, item: u64, keyphrases: Vec<String>, outcome: Outcome) {
         let mut shard = self.shard(item).write();
         match shard.get_mut(&item) {
             Some(existing) => {
                 existing.version += 1;
                 existing.keyphrases = keyphrases;
+                existing.outcome = outcome;
             }
             None => {
-                shard.insert(item, StoredRecs { keyphrases, version: 1 });
+                shard.insert(item, StoredRecs { keyphrases, version: 1, outcome });
             }
         }
     }
 
     /// The serving read path.
-    pub fn get(&self, item: u32) -> Option<StoredRecs> {
+    pub fn get(&self, item: u64) -> Option<StoredRecs> {
         self.shard(item).read().get(&item).cloned()
+    }
+
+    /// Presence check without cloning the record (cheap enough to call
+    /// under another lock).
+    pub fn contains(&self, item: u64) -> bool {
+        self.shard(item).read().contains_key(&item)
     }
 
     /// Number of items stored.
@@ -70,7 +83,7 @@ impl KvStore {
     }
 
     /// Removes an item (listing ended).
-    pub fn remove(&self, item: u32) -> bool {
+    pub fn remove(&self, item: u64) -> bool {
         self.shard(item).write().remove(&item).is_some()
     }
 
@@ -95,28 +108,30 @@ mod tests {
     #[test]
     fn put_get_roundtrip() {
         let kv = KvStore::new();
-        kv.put(7, vec!["a".into(), "b".into()]);
+        kv.put(7, vec!["a".into(), "b".into()], Outcome::ExactLeaf);
         let got = kv.get(7).unwrap();
         assert_eq!(got.keyphrases, ["a", "b"]);
         assert_eq!(got.version, 1);
+        assert_eq!(got.outcome, Outcome::ExactLeaf);
         assert!(kv.get(8).is_none());
     }
 
     #[test]
-    fn overwrite_bumps_version() {
+    fn overwrite_bumps_version_and_updates_outcome() {
         let kv = KvStore::new();
-        kv.put(7, vec!["a".into()]);
-        kv.put(7, vec!["b".into()]);
+        kv.put(7, vec!["a".into()], Outcome::ExactLeaf);
+        kv.put(7, vec!["b".into()], Outcome::MetaFallback);
         let got = kv.get(7).unwrap();
         assert_eq!(got.keyphrases, ["b"]);
         assert_eq!(got.version, 2);
+        assert_eq!(got.outcome, Outcome::MetaFallback);
         assert_eq!(kv.len(), 1);
     }
 
     #[test]
     fn remove_works() {
         let kv = KvStore::new();
-        kv.put(1, vec!["x".into()]);
+        kv.put(1, vec!["x".into()], Outcome::ExactLeaf);
         assert!(kv.remove(1));
         assert!(!kv.remove(1));
         assert!(kv.is_empty());
@@ -125,12 +140,12 @@ mod tests {
     #[test]
     fn spread_across_shards() {
         let kv = KvStore::new();
-        for i in 0..1000 {
-            kv.put(i, vec![format!("kp{i}")]);
+        for i in 0..1000u64 {
+            kv.put(i, vec![format!("kp{i}")], Outcome::ExactLeaf);
         }
         assert_eq!(kv.len(), 1000);
         assert!(kv.approx_bytes() > 0);
-        for i in 0..1000 {
+        for i in 0..1000u64 {
             assert_eq!(kv.get(i).unwrap().keyphrases[0], format!("kp{i}"));
         }
     }
@@ -139,12 +154,12 @@ mod tests {
     fn concurrent_writers_and_readers() {
         let kv = std::sync::Arc::new(KvStore::new());
         let mut handles = Vec::new();
-        for t in 0..4u32 {
+        for t in 0..4u64 {
             let kv = kv.clone();
             handles.push(std::thread::spawn(move || {
-                for i in 0..500u32 {
+                for i in 0..500u64 {
                     let key = t * 1000 + i;
-                    kv.put(key, vec![format!("{key}")]);
+                    kv.put(key, vec![format!("{key}")], Outcome::ExactLeaf);
                     assert!(kv.get(key).is_some());
                 }
             }));

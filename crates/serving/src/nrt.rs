@@ -11,7 +11,7 @@
 //! runs GraphEx inference, and writes to the KV store.
 
 use crate::kv::KvStore;
-use graphex_core::{GraphExModel, InferenceParams, LeafId, Scratch};
+use graphex_core::{GraphExModel, InferRequest, LeafId, Scratch};
 use graphex_textkit::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -81,7 +81,6 @@ impl NrtService {
             let (scored, deduped) = (scored.clone(), deduped.clone());
             std::thread::spawn(move || {
                 let mut scratch = Scratch::new();
-                let params = InferenceParams::with_k(config.k);
                 // item id → latest (title, leaf) inside the current window
                 let mut window: FxHashMap<u32, (String, LeafId)> = FxHashMap::default();
                 loop {
@@ -117,15 +116,13 @@ impl NrtService {
                         window.drain().map(|(id, (t, l))| (id, t, l)).collect();
                     batch.sort_unstable_by_key(|&(id, _, _)| id);
                     for (id, title, leaf) in batch {
-                        let preds =
-                            model.infer(&title, leaf, &params, &mut scratch).unwrap_or_default();
-                        if !preds.is_empty() {
-                            let texts: Vec<String> = preds
-                                .iter()
-                                .filter_map(|p| model.keyphrase_text(p.keyphrase))
-                                .map(str::to_string)
-                                .collect();
-                            store.put(id, texts);
+                        let request = InferRequest::new(&title, leaf)
+                            .k(config.k)
+                            .id(u64::from(id))
+                            .resolve_texts(true);
+                        let response = model.infer_request(&request, &mut scratch);
+                        if response.is_servable() {
+                            store.put(u64::from(id), response.texts, response.outcome);
                         }
                         scored.fetch_add(1, Ordering::Relaxed);
                     }
@@ -201,8 +198,10 @@ mod tests {
         assert_eq!(stats.events_received, 20);
         assert_eq!(stats.items_scored as usize + stats.deduplicated as usize, 20);
         assert_eq!(store.len(), 20);
-        for i in 0..20u32 {
-            assert!(!store.get(i).unwrap().keyphrases.is_empty());
+        for i in 0..20u64 {
+            let stored = store.get(i).unwrap();
+            assert!(!stored.keyphrases.is_empty());
+            assert_eq!(stored.outcome, graphex_core::Outcome::ExactLeaf);
         }
     }
 

@@ -28,13 +28,16 @@ pub fn figure3_records() -> (LeafId, Vec<KeyphraseRecord>) {
 /// ordered by search count.
 ///
 /// ```
+/// use graphex_core::{Engine, InferRequest};
 /// use graphex_suite::figure3_model;
 ///
 /// let (leaf, model) = figure3_model();
-/// let preds = model.infer_simple("Audeze Maxwell gaming headphones for Xbox", leaf, 3);
-/// let texts: Vec<&str> =
-///     preds.iter().map(|p| model.keyphrase_text(p.keyphrase).unwrap()).collect();
-/// assert_eq!(texts, ["gaming headphones xbox", "audeze maxwell", "audeze headphones"]);
+/// let engine = Engine::from_model(model);
+/// let request = InferRequest::new("Audeze Maxwell gaming headphones for Xbox", leaf)
+///     .k(3)
+///     .resolve_texts(true);
+/// let response = engine.infer(&request);
+/// assert_eq!(response.texts, ["gaming headphones xbox", "audeze maxwell", "audeze headphones"]);
 /// ```
 pub fn figure3_model() -> (LeafId, GraphExModel) {
     let (leaf, records) = figure3_records();
@@ -68,17 +71,22 @@ mod tests {
     #[test]
     fn figure3_top3_matches_paper() {
         let (leaf, model) = figure3_model();
-        let preds = model.infer_simple("Audeze Maxwell gaming headphones for Xbox", leaf, 3);
-        let texts: Vec<&str> =
-            preds.iter().map(|p| model.keyphrase_text(p.keyphrase).unwrap()).collect();
-        assert_eq!(texts, ["gaming headphones xbox", "audeze maxwell", "audeze headphones"]);
+        let engine = graphex_core::Engine::from_model(model);
+        let request = graphex_core::InferRequest::new("Audeze Maxwell gaming headphones for Xbox", leaf)
+            .k(3)
+            .resolve_texts(true);
+        let response = engine.infer(&request);
+        assert_eq!(response.outcome, graphex_core::Outcome::ExactLeaf);
+        assert_eq!(response.texts, ["gaming headphones xbox", "audeze maxwell", "audeze headphones"]);
     }
 
     #[test]
     fn fixtures_build() {
         let (leaf, model) = figure3_model();
         assert_eq!(model.num_keyphrases(), 5);
-        assert!(!model.infer_simple("audeze maxwell", leaf, 5).is_empty());
+        let mut scratch = graphex_core::Scratch::new();
+        let req = graphex_core::InferRequest::new("audeze maxwell", leaf).k(5);
+        assert!(!model.infer_request(&req, &mut scratch).is_empty());
         let ds = tiny_dataset(1);
         let model = tiny_model(&ds);
         assert!(model.num_keyphrases() > 0);

@@ -74,7 +74,14 @@ fn main() {
         recs.first().map(String::as_str).unwrap_or("-"),
     );
 
-    // Unknown leaf? Falls back to the meta-category graph (never a panic).
-    let fallback = model.infer_simple(&new_item.title, LeafId(u32::MAX), 5);
-    println!("fallback-graph inference for an unknown leaf: {} keyphrases", fallback.len());
+    // Unknown leaf? Falls back to the meta-category graph (never a panic),
+    // and the response outcome says the fallback answered.
+    let engine = graphex_core::Engine::new(model.clone());
+    let fallback = engine
+        .infer(&graphex_core::InferRequest::new(&new_item.title, LeafId(u32::MAX)).k(5));
+    println!(
+        "fallback-graph inference for an unknown leaf: {} keyphrases (outcome: {})",
+        fallback.len(),
+        fallback.outcome.name()
+    );
 }

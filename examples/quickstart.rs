@@ -5,7 +5,7 @@
 //! cargo run --release -p graphex-suite --example quickstart
 //! ```
 
-use graphex_core::{Alignment, GraphExBuilder, GraphExConfig, KeyphraseRecord, LeafId};
+use graphex_core::{Alignment, Engine, GraphExBuilder, GraphExConfig, InferRequest, KeyphraseRecord, LeafId};
 
 fn main() {
     // Curated buyer queries for one leaf category ("gaming headsets"),
@@ -32,14 +32,19 @@ fn main() {
         model.size_bytes()
     );
 
-    // Inference phase: Algorithm 1 (enumeration) + LTA ranking.
+    // Inference phase: Algorithm 1 (enumeration) + LTA ranking, through
+    // the request/response envelope every frontend uses.
+    let engine = Engine::from_model(model);
     let title = "Audeze Maxwell gaming headphones for Xbox";
     println!("item title: {title:?}\n");
+    let request = InferRequest::new(title, leaf).k(10).resolve_texts(true);
+    let response = engine.infer(&request);
+    println!("outcome: {} ({} keyphrases)\n", response.outcome.name(), response.len());
     println!("{:<32} {:>7} {:>9} {:>8} {:>8}", "keyphrase", "LTA", "matched", "search", "recall");
-    for p in model.infer_simple(title, leaf, 10) {
+    for (p, text) in response.predictions.iter().zip(&response.texts) {
         println!(
             "{:<32} {:>7.2} {:>6}/{:<2} {:>8} {:>8}",
-            model.keyphrase_text(p.keyphrase).unwrap(),
+            text,
             p.score(Alignment::Lta),
             p.matched,
             p.label_len,

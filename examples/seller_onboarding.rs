@@ -7,7 +7,7 @@
 //! cargo run --release -p graphex-suite --example seller_onboarding
 //! ```
 
-use graphex_core::{GraphExBuilder, GraphExConfig, InferenceParams, Scratch};
+use graphex_core::{Engine, GraphExBuilder, GraphExConfig, InferRequest, Outcome};
 use graphex_marketsim::{CategoryDataset, CategorySpec};
 
 fn main() {
@@ -30,16 +30,16 @@ fn main() {
     let leaf = template.leaf;
     println!("\nnew listing: {title:?} in {leaf}\n");
 
-    let mut scratch = Scratch::new();
-    let preds = model
-        .infer(&title, leaf, &InferenceParams::with_k(10), &mut scratch)
-        .expect("leaf is known");
+    let engine = Engine::from_model(model);
+    let response = engine.infer(&InferRequest::new(&title, leaf).k(10).resolve_texts(true));
+    assert_eq!(response.outcome, Outcome::ExactLeaf, "leaf is known");
+    let preds = &response.predictions;
 
     // Interpretability: show exactly which title tokens drove each pick.
+    let model = engine.model();
     let title_tokens = model.tokenize_title(&title);
     println!("{:<40} {:>6} {:>10}  explanation", "recommended keyphrase", "LTA", "searches");
-    for p in &preds {
-        let text = model.keyphrase_text(p.keyphrase).unwrap();
+    for (p, text) in preds.iter().zip(&response.texts) {
         let kp_tokens = model.tokenize_title(text);
         let matched: Vec<&str> = kp_tokens
             .iter()
@@ -67,6 +67,6 @@ fn main() {
         popularity: 0.0,
     };
     let relevant =
-        preds.iter().filter(|p| oracle.is_relevant(&fake_item, model.keyphrase_text(p.keyphrase).unwrap())).count();
+        response.texts.iter().filter(|text| oracle.is_relevant(&fake_item, text)).count();
     println!("\noracle-relevant: {relevant}/{} recommendations", preds.len());
 }

@@ -1,8 +1,8 @@
 //! End-to-end integration: simulator → curation → construction → inference
 //! → oracle, across crate boundaries.
 
-use graphex_core::parallel::{batch_infer, InferRequest};
-use graphex_core::{serialize, InferenceParams, Scratch};
+use graphex_core::parallel::batch_infer;
+use graphex_core::{serialize, Engine, InferRequest, Outcome, Scratch};
 use graphex_suite::{tiny_dataset, tiny_model};
 
 #[test]
@@ -17,12 +17,12 @@ fn dataset_to_predictions_to_relevance() {
     let mut total = 0usize;
     let mut scratch = Scratch::new();
     for item in ds.test_items(60, 1) {
-        let preds = model
-            .infer(&item.title, item.leaf, &InferenceParams::with_k(5), &mut scratch)
-            .unwrap_or_default();
-        for p in preds {
+        let request = InferRequest::new(&item.title, item.leaf).k(5).resolve_texts(true);
+        let response = model.infer_request(&request, &mut scratch);
+        assert_ne!(response.outcome, Outcome::UnknownLeaf, "test items come from known leaves");
+        for text in &response.texts {
             total += 1;
-            if oracle.is_relevant(item, model.keyphrase_text(p.keyphrase).unwrap()) {
+            if oracle.is_relevant(item, text) {
                 relevant += 1;
             }
         }
@@ -37,11 +37,11 @@ fn predictions_are_real_buyer_queries() {
     // Every GraphEx output must be a phrase buyers actually searched —
     // the in-vocabulary guarantee (paper Sec. I-A4).
     let ds = tiny_dataset(0xE2F);
-    let model = tiny_model(&ds);
+    let engine = Engine::from_model(tiny_model(&ds));
     let oracle = ds.oracle();
     for item in ds.test_items(40, 2) {
-        for p in model.infer_simple(&item.title, item.leaf, 10) {
-            let text = model.keyphrase_text(p.keyphrase).unwrap();
+        let request = InferRequest::new(&item.title, item.leaf).k(10).resolve_texts(true);
+        for text in &engine.infer(&request).texts {
             assert!(
                 oracle.query_by_text(text).is_some(),
                 "prediction {text:?} is not in the query universe"
@@ -56,18 +56,13 @@ fn serialization_roundtrip_mid_pipeline() {
     let model = tiny_model(&ds);
     let bytes = serialize::to_bytes(&model);
     let restored = serialize::from_bytes(&bytes).expect("roundtrip");
+    let mut scratch = Scratch::new();
     for item in ds.test_items(25, 3) {
-        let a: Vec<String> = model
-            .infer_simple(&item.title, item.leaf, 10)
-            .iter()
-            .map(|p| model.keyphrase_text(p.keyphrase).unwrap().to_string())
-            .collect();
-        let b: Vec<String> = restored
-            .infer_simple(&item.title, item.leaf, 10)
-            .iter()
-            .map(|p| restored.keyphrase_text(p.keyphrase).unwrap().to_string())
-            .collect();
-        assert_eq!(a, b);
+        let request = InferRequest::new(&item.title, item.leaf).k(10).resolve_texts(true);
+        let a = model.infer_request(&request, &mut scratch);
+        let b = restored.infer_request(&request, &mut scratch);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.texts, b.texts);
     }
 }
 
@@ -76,17 +71,18 @@ fn parallel_batch_equals_sequential() {
     let ds = tiny_dataset(0xE31);
     let model = tiny_model(&ds);
     let items = ds.test_items(80, 4);
-    let requests: Vec<InferRequest> =
-        items.iter().map(|i| InferRequest::new(&i.title, i.leaf)).collect();
-    let params = InferenceParams::with_k(15);
-    let seq = batch_infer(&model, &requests, &params, 1);
-    let par = batch_infer(&model, &requests, &params, 8);
-    assert_eq!(seq.len(), par.len());
-    for (a, b) in seq.iter().zip(&par) {
-        let ta: Vec<u32> = a.iter().map(|p| p.keyphrase).collect();
-        let tb: Vec<u32> = b.iter().map(|p| p.keyphrase).collect();
-        assert_eq!(ta, tb);
-    }
+    // Mixed per-request budgets: the batch path must honour each envelope.
+    let requests: Vec<InferRequest<'_>> = items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| InferRequest::new(&item.title, item.leaf).k(5 + (i % 3) * 5).id(i as u64))
+        .collect();
+    let seq = batch_infer(&model, &requests, 1);
+    let par = batch_infer(&model, &requests, 8);
+    assert_eq!(seq, par);
+    // Engine::infer_batch rides the same machinery and must agree too.
+    let engine = Engine::from_model(model);
+    assert_eq!(engine.infer_batch(&requests, 8), seq);
 }
 
 #[test]

@@ -114,12 +114,54 @@ fn head_threshold_consistency_with_eval_window() {
     // Nothing below/equal the cut is head; something above it exists.
     let mut above = 0;
     for &c in &ds.eval_log.search_counts {
-        if c > 0 {
-            if threshold.is_head(c) {
-                above += 1;
-                assert!(c > threshold.min_search_count);
-            }
+        if c > 0 && threshold.is_head(c) {
+            above += 1;
+            assert!(c > threshold.min_search_count);
         }
     }
     assert!(above > 0, "no head keyphrases at all");
+}
+
+/// The evaluation harness can score any [`graphex_core::KeyphraseService`]
+/// — the raw engine and the whole store-backed serving stack — through
+/// `ServiceRecommender`, and all GraphEx frontends agree on the metrics
+/// (they serve the same texts for the same requests).
+#[test]
+fn serving_stack_is_evaluable_as_a_service() {
+    use graphex_baselines::ServiceRecommender;
+    use graphex_core::Engine;
+    use graphex_serving::{KvStore, ServingApi};
+    use std::sync::Arc;
+
+    let ds = tiny_dataset(0xEF7);
+    let model = tiny_model(&ds);
+    let engine = Engine::from_model(model.clone());
+    let direct = GraphExRecommender::new(model);
+    let via_engine = ServiceRecommender::new("GraphEx(engine)", engine.clone());
+    let via_serving = ServiceRecommender::new(
+        "GraphEx(serving)",
+        ServingApi::with_engine(engine, Arc::new(KvStore::new()), 20),
+    );
+
+    let judge = RelevanceJudge::new(&ds);
+    let items = ds.test_items(30, 5);
+    let refs: Vec<&dyn Recommender> =
+        vec![&direct, &via_engine, &via_serving];
+    let eval = Evaluation::run(&ds, &refs, &items, 20, &judge);
+
+    let a = eval.model("GraphEx").unwrap();
+    let b = eval.model("GraphEx(engine)").unwrap();
+    let c = eval.model("GraphEx(serving)").unwrap();
+    assert!(a.total_predictions() > 0, "nothing predicted");
+    // Same model behind all three frontends → identical judged metrics.
+    assert_eq!(a.relevant(), b.relevant());
+    assert_eq!(b.relevant(), c.relevant());
+    assert_eq!(a.total_predictions(), c.total_predictions());
+    assert_eq!(a.relevant_head(), c.relevant_head());
+
+    // The serving facade actually exercised the read-through path once per
+    // item and tallied every outcome.
+    let stats = via_serving.service().stats();
+    assert_eq!(stats.read_throughs + stats.unservable, items.len() as u64);
+    assert_eq!(stats.outcomes.total(), items.len() as u64);
 }

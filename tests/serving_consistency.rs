@@ -38,7 +38,7 @@ fn batch_and_nrt_agree_item_by_item() {
 
     let mut compared = 0usize;
     for item in &items {
-        match (batch_store.get(item.id), nrt_store.get(item.id)) {
+        match (batch_store.get(u64::from(item.id)), nrt_store.get(u64::from(item.id))) {
             (Some(a), Some(b)) => {
                 assert_eq!(a.keyphrases, b.keyphrases, "divergence on item {}", item.id);
                 compared += 1;
@@ -65,7 +65,7 @@ fn differential_refresh_after_revision() {
         .map(|i| BatchItem { id: i.id, title: i.title.clone(), leaf: i.leaf })
         .collect();
     pipeline.run_full(&items);
-    let before = store.get(items[0].id);
+    let before = store.get(u64::from(items[0].id));
 
     // Seller revises item 0's title to a different product in the same leaf.
     let donor = ds
@@ -76,7 +76,7 @@ fn differential_refresh_after_revision() {
         .expect("another product in the leaf");
     items[0].title = donor.title.clone();
     pipeline.run_differential(&items[..1]);
-    let after = store.get(items[0].id);
+    let after = store.get(u64::from(items[0].id));
 
     match (before, after) {
         (Some(b), Some(a)) => {
@@ -111,6 +111,6 @@ fn nrt_survives_event_burst_with_rapid_revisions() {
     assert_eq!(stats.events_received, 1000);
     assert_eq!(stats.items_scored + stats.deduplicated, 1000);
     // All 100 items end up served, each at the latest revision processed.
-    let served = (0..100u32).filter(|&i| store.get(i).is_some()).count();
+    let served = (0..100u64).filter(|&i| store.get(i).is_some()).count();
     assert!(served >= 95, "served only {served}/100 after burst");
 }

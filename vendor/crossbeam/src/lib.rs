@@ -87,7 +87,7 @@ mod tests {
 
     #[test]
     fn scope_joins_borrowing_workers() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let mut results = vec![0u64; 2];
         super::thread::scope(|scope| {
             for (chunk, out) in data.chunks(2).zip(results.iter_mut()) {

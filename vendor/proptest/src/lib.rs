@@ -369,6 +369,7 @@ macro_rules! __proptest_items {
                     $( let $arg = $crate::Strategy::sample_value(&($strat), &mut rng); )+
                     // The closure gives `prop_assume!` an early exit
                     // (`None`) without aborting the whole property.
+                    #[allow(clippy::redundant_closure_call)]
                     let _: ::core::option::Option<()> = (move || { $body ::core::option::Option::Some(()) })();
                 }
             }

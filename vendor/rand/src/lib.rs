@@ -43,7 +43,7 @@ pub trait Rng: RngCore {
     where
         Self: Sized,
     {
-        if !(p > 0.0) {
+        if p.is_nan() || p <= 0.0 {
             return false;
         }
         if p >= 1.0 {
