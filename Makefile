@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test doc clippy bench-smoke bench ci
+.PHONY: build test doc clippy bench-smoke bench bench-snapshot ci
 
 # Tier-1 gate, part 1.
 build:
@@ -24,6 +24,11 @@ clippy:
 # Every criterion bench body exactly once — compile + run sanity, no timing.
 bench-smoke:
 	$(CARGO) bench -p graphex-bench -- --test
+
+# Snapshot lifecycle smoke: v1 vs v2 load + swap-under-load, one pass
+# each (no timing). Real numbers land in BENCH_model_store.json.
+bench-snapshot:
+	$(CARGO) bench -p graphex-bench --bench snapshot_lifecycle -- --test
 
 # The real (wall-clock) bench suite.
 bench:

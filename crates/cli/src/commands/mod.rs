@@ -5,6 +5,7 @@ pub mod build;
 pub mod diff;
 pub mod explain;
 pub mod infer;
+pub mod model;
 pub mod simulate;
 pub mod stats;
 

@@ -20,6 +20,12 @@ pub fn usage() -> &'static str {
   graphex explain  --model <model.gexm> --leaf <id> --title <text> [--k N]
   graphex stats    --model <model.gexm>
   graphex diff     --old <a.gexm> --new <b.gexm> [--max-listed N]
+  graphex model    publish  --root <dir> --input <model.gexm> [--note <text>]
+  graphex model    list     --root <dir>
+  graphex model    rollback --root <dir>
+  graphex model    inspect  (--root <dir> [--version N] | --model <file>)
+  graphex model    verify   (--root <dir> [--version N] | --model <file>)
+  graphex model    gc       --root <dir> [--keep N]
 
 record TSV line: text<TAB>leaf_id<TAB>search_count<TAB>recall_count"
 }
@@ -27,6 +33,10 @@ record TSV line: text<TAB>leaf_id<TAB>search_count<TAB>recall_count"
 /// Parses and runs a command line (without the binary name).
 pub fn dispatch(argv: &[String]) -> Result<String, String> {
     let (command, rest) = argv.split_first().ok_or_else(|| "missing command".to_string())?;
+    if command == "model" {
+        // `model` takes a positional verb before its flags.
+        return commands::model::run(rest);
+    }
     let parsed = ParsedArgs::parse(rest)?;
     match command.as_str() {
         "simulate" => commands::simulate::run(&parsed),

@@ -6,14 +6,19 @@
 //! words; neighbor traversal is a contiguous slice scan — the property the
 //! paper's `O(|T| · d_avg)` inference bound rests on.
 
+use crate::storage::U32Store;
+
 /// Immutable CSR adjacency from `u32` rows to `u32` targets.
 ///
 /// Construction sorts and de-duplicates the edge list exactly as the paper
-/// describes ("constructed as tuples, sorted and then de-duplicated").
+/// describes ("constructed as tuples, sorted and then de-duplicated"). The
+/// two arrays are [`U32Store`]s: owned when built in-process, borrowed
+/// zero-copy from the load buffer when deserialized from a `GEXM v2`
+/// snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Csr {
-    offsets: Box<[u32]>,
-    targets: Box<[u32]>,
+    offsets: U32Store,
+    targets: U32Store,
 }
 
 impl Csr {
@@ -35,7 +40,7 @@ impl Csr {
             offsets[i + 1] += offsets[i];
         }
         let targets: Vec<u32> = edges.iter().map(|&(_, t)| t).collect();
-        Self { offsets: offsets.into_boxed_slice(), targets: targets.into_boxed_slice() }
+        Self { offsets: offsets.into(), targets: targets.into() }
     }
 
     /// Number of rows.
@@ -95,9 +100,11 @@ impl Csr {
         (&self.offsets, &self.targets)
     }
 
-    /// Rebuilds from raw parts, validating CSR invariants (monotone offsets,
-    /// first 0 / last == |targets|). Used by deserialization, hence `Result`.
-    pub(crate) fn from_parts(offsets: Vec<u32>, targets: Vec<u32>) -> Result<Self, String> {
+    /// Rebuilds from raw (store-typed) parts, validating CSR invariants
+    /// (monotone offsets, first 0 / last == |targets|). Used by
+    /// deserialization, hence `Result`; the zero-copy path hands in
+    /// borrowed views and validation reads but never copies.
+    pub(crate) fn from_stores(offsets: U32Store, targets: U32Store) -> Result<Self, String> {
         if offsets.is_empty() {
             return Err("csr: empty offsets".into());
         }
@@ -110,7 +117,7 @@ impl Csr {
         if offsets.windows(2).any(|w| w[0] > w[1]) {
             return Err("csr: offsets not monotone".into());
         }
-        Ok(Self { offsets: offsets.into_boxed_slice(), targets: targets.into_boxed_slice() })
+        Ok(Self { offsets, targets })
     }
 }
 
@@ -173,11 +180,12 @@ mod tests {
 
     #[test]
     fn from_parts_validation() {
-        assert!(Csr::from_parts(vec![], vec![]).is_err());
-        assert!(Csr::from_parts(vec![1, 2], vec![0, 0]).is_err()); // first != 0
-        assert!(Csr::from_parts(vec![0, 3], vec![7]).is_err()); // last != len
-        assert!(Csr::from_parts(vec![0, 2, 1], vec![9]).is_err()); // not monotone
-        let ok = Csr::from_parts(vec![0, 1, 2], vec![4, 9]).unwrap();
+        let parts = |o: Vec<u32>, t: Vec<u32>| Csr::from_stores(o.into(), t.into());
+        assert!(parts(vec![], vec![]).is_err());
+        assert!(parts(vec![1, 2], vec![0, 0]).is_err()); // first != 0
+        assert!(parts(vec![0, 3], vec![7]).is_err()); // last != len
+        assert!(parts(vec![0, 2, 1], vec![9]).is_err()); // not monotone
+        let ok = parts(vec![0, 1, 2], vec![4, 9]).unwrap();
         assert_eq!(ok.neighbors(1), &[9]);
     }
 

@@ -8,10 +8,17 @@
 //! `R(l)` are unit-time lookups exactly as the paper requires.
 
 use crate::csr::Csr;
+use crate::storage::{U16Store, U32Store};
 use crate::types::KeyphraseId;
 use graphex_textkit::{FxHashMap, TokenId};
 
 /// Bipartite word→keyphrase graph for one leaf category.
+///
+/// All integer arrays are stores: owned when the graph was built
+/// in-process (or loaded from a v1 file), borrowed zero-copy from the
+/// snapshot buffer when loaded from `GEXM v2`. Only `word_rows` — the
+/// token → row hash index — is materialized at load time, and that is
+/// O(words), not O(edges).
 #[derive(Debug, Clone)]
 pub struct LeafGraph {
     /// Global token id → CSR row. One probe per title token at inference.
@@ -19,16 +26,16 @@ pub struct LeafGraph {
     /// Row `r` (a word) ↦ local label indices containing that word.
     csr: Csr,
     /// Local label index → global keyphrase id.
-    labels: Box<[KeyphraseId]>,
+    labels: U32Store,
     /// Distinct token count `|l|` per label (u16: queries are short).
-    label_len: Box<[u16]>,
+    label_len: U16Store,
     /// Search count `S(l)` per label.
-    search: Box<[u32]>,
+    search: U32Store,
     /// Recall count `R(l)` per label.
-    recall: Box<[u32]>,
+    recall: U32Store,
     /// Row → global token id (inverse of `word_rows`; needed for
     /// serialization and introspection).
-    row_tokens: Box<[TokenId]>,
+    row_tokens: U32Store,
 }
 
 impl LeafGraph {
@@ -61,11 +68,11 @@ impl LeafGraph {
         Self {
             word_rows,
             csr,
-            labels: labels.into_boxed_slice(),
-            label_len: label_len.into_boxed_slice(),
-            search: search.into_boxed_slice(),
-            recall: recall.into_boxed_slice(),
-            row_tokens: row_tokens.into_boxed_slice(),
+            labels: labels.into(),
+            label_len: label_len.into(),
+            search: search.into(),
+            recall: recall.into(),
+            row_tokens: row_tokens.into(),
         }
     }
 
@@ -171,13 +178,38 @@ impl LeafGraph {
         search: Vec<u32>,
         recall: Vec<u32>,
     ) -> Result<Self, String> {
+        Self::from_stores(
+            row_tokens.into(),
+            offsets.into(),
+            targets.into(),
+            labels.into(),
+            label_len.into(),
+            search.into(),
+            recall.into(),
+        )
+    }
+
+    /// [`LeafGraph::from_serialized`] over store-typed arrays. This is the
+    /// zero-copy load path: every store may be a borrowed view into the
+    /// snapshot buffer; validation reads the arrays (CSR monotonicity,
+    /// parallel lengths, duplicate rows) but copies nothing per edge.
+    #[allow(clippy::too_many_arguments)] // mirrors the 7 serialized arrays
+    pub(crate) fn from_stores(
+        row_tokens: U32Store,
+        offsets: U32Store,
+        targets: U32Store,
+        labels: U32Store,
+        label_len: U16Store,
+        search: U32Store,
+        recall: U32Store,
+    ) -> Result<Self, String> {
         if labels.len() != label_len.len() || labels.len() != search.len() || labels.len() != recall.len() {
             return Err("leaf graph: parallel label arrays disagree in length".into());
         }
         if offsets.len() != row_tokens.len() + 1 {
             return Err("leaf graph: offsets/rows mismatch".into());
         }
-        let csr = Csr::from_parts(offsets, targets)?;
+        let csr = Csr::from_stores(offsets, targets)?;
         let num_labels = labels.len() as u32;
         if csr.edges().any(|(_, l)| l >= num_labels) {
             return Err("leaf graph: edge target out of label range".into());
@@ -188,15 +220,13 @@ impl LeafGraph {
                 return Err("leaf graph: duplicate token row".into());
             }
         }
-        Ok(Self {
-            word_rows,
-            csr,
-            labels: labels.into_boxed_slice(),
-            label_len: label_len.into_boxed_slice(),
-            search: search.into_boxed_slice(),
-            recall: recall.into_boxed_slice(),
-            row_tokens: row_tokens.into_boxed_slice(),
-        })
+        Ok(Self { word_rows, csr, labels, label_len, search, recall, row_tokens })
+    }
+
+    /// Whether this graph's arrays borrow from a shared snapshot buffer
+    /// (true exactly for graphs loaded through the zero-copy v2 path).
+    pub fn is_zero_copy(&self) -> bool {
+        self.labels.is_view()
     }
 }
 

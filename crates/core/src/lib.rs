@@ -79,6 +79,7 @@ pub mod parallel;
 pub mod ranking;
 pub mod serialize;
 pub mod service;
+pub mod storage;
 pub mod types;
 
 pub use alignment::Alignment;

@@ -115,18 +115,6 @@ impl GraphExModel {
         InferResponse { id: request.id, outcome, predictions, texts }
     }
 
-    /// One-shot convenience: allocates a scratch, swallows `UnknownLeaf`
-    /// into an empty list.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use GraphExModel::infer_request or Engine::infer — the Outcome \
-                distinguishes unknown-leaf from empty results"
-    )]
-    pub fn infer_simple(&self, title: &str, leaf: LeafId, k: usize) -> Vec<Prediction> {
-        let mut scratch = Scratch::new();
-        self.infer_request(&InferRequest::new(title, leaf).k(k), &mut scratch).predictions
-    }
-
     /// The text of a keyphrase id (normalized query text).
     pub fn keyphrase_text(&self, id: KeyphraseId) -> Option<&str> {
         self.keyphrases.resolve(id)
@@ -264,19 +252,6 @@ mod tests {
             .infer_request(&InferRequest::new("audeze maxwell headphones", LeafId(999)).k(5), &mut scratch);
         assert_eq!(resp.outcome, Outcome::MetaFallback);
         assert!(!resp.predictions.is_empty());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn infer_simple_shim_matches_envelope() {
-        let model = sample_model(false);
-        let mut scratch = Scratch::new();
-        let title = "Audeze Maxwell gaming headphones for Xbox";
-        let via_shim = model.infer_simple(title, LeafId(7), 5);
-        let via_envelope =
-            model.infer_request(&InferRequest::new(title, LeafId(7)).k(5), &mut scratch).predictions;
-        assert_eq!(via_shim, via_envelope);
-        assert!(model.infer_simple("anything", LeafId(999), 5).is_empty());
     }
 
     #[test]

@@ -1,67 +1,121 @@
-//! Binary model format.
+//! Binary model formats: `GEXM` v1 (legacy, copying) and v2 (zero-copy).
 //!
-//! A GraphEx model is a set of integer arrays plus two string tables, so the
-//! format is a straightforward length-prefixed dump with a magic, a version,
-//! and an FNV-1a checksum trailer. The serialized length doubles as the
-//! model-size metric of the paper's Fig. 6b.
+//! A GraphEx model is a set of integer arrays plus two string tables. Two
+//! on-disk layouts share the `GEXM` magic and an FNV-1a checksum trailer,
+//! dispatched on the version field:
 //!
-//! Layout (little-endian):
+//! * **v1** — a length-prefixed stream. Every array is re-materialized on
+//!   load (one copy per edge) and both string tables are re-interned.
+//!   Kept for reading old snapshots and as the baseline side of the
+//!   `snapshot_lifecycle` bench; written only by [`to_bytes_v1`].
+//! * **v2** — the default ([`to_bytes`]). A fixed 32-byte header, a
+//!   **section directory**, and every integer array stored as a raw
+//!   little-endian section on an **8-byte boundary**. The loader borrows
+//!   the CSR/label/score arrays straight out of the load buffer
+//!   ([`bytes::Bytes`]-backed [`crate::storage::PodView`]s) — zero
+//!   per-edge copies, and mmap-ready: any `AsRef<[u8]>` owner with an
+//!   8-aligned base can back [`from_shared`]. Only the string tables and
+//!   the per-leaf word index are materialized (O(strings + words)).
+//!
+//! v2 layout (little-endian throughout):
 //!
 //! ```text
-//! magic  b"GEXM"
-//! u32    version (= 1)
-//! u8     flags (bit0 stemming, bit1 has_fallback)
-//! u8     alignment (0 LTA, 1 WMR, 2 JAC)
-//! vocab  tokens        (u32 count, then u16-len-prefixed utf-8 strings)
-//! vocab  keyphrases
-//! u32    num_leaves
-//! leaf*  (u32 leaf_id, graph)
-//! graph? fallback (if flag bit1)
-//! u64    fnv1a of everything above
+//! off  0  magic            b"GEXM"
+//! off  4  u32  version     (= 2)
+//! off  8  u8   flags       (bit0 stemming, bit1 has_fallback)
+//! off  9  u8   alignment   (0 LTA, 1 WMR, 2 JAC)
+//! off 10  u16  reserved    (= 0)
+//! off 12  u32  num_leaves
+//! off 16  u64  directory_offset   (8-aligned, sections end here)
+//! off 24  u32  section_count
+//! off 28  u32  reserved    (= 0)
+//! off 32  sections…        each padded to an 8-byte boundary
+//!         directory        section_count × 32-byte entries:
+//!                          (u32 kind, u32 owner, u64 offset,
+//!                           u64 byte_len, u64 elem_count)
+//!         u64 fnv1a        checksum of everything above
 //! ```
 //!
-//! Deserialization validates every structural invariant (CSR monotonicity,
-//! parallel array lengths, label ranges, checksum) and fails with
-//! [`GraphExError::Corrupt`] rather than panicking — corrupt model files are
-//! an expected operational failure, not a bug.
+//! Section kinds: leaf-id table and the two vocab blobs (owner = `!0`),
+//! then per graph (owner = leaf index, or `!0` for the meta fallback):
+//! row-tokens, CSR offsets, CSR targets, labels, label-lens (u16),
+//! search counts, recall counts.
+//!
+//! Deserialization of either version validates every structural invariant
+//! (checksum first, then CSR monotonicity, parallel array lengths, label
+//! ranges, section bounds/alignment) and fails with
+//! [`GraphExError::Corrupt`] rather than panicking — corrupt model files
+//! are an expected operational failure, not a bug.
 
 use crate::alignment::Alignment;
 use crate::error::{GraphExError, Result};
 use crate::leaf_graph::LeafGraph;
 use crate::model::GraphExModel;
+use crate::storage::{AlignedBuf, PodView};
 use crate::types::LeafId;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use graphex_textkit::{FxHashMap, Vocab};
-use std::io::{Read, Write};
+use std::io::Write;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"GEXM";
-const VERSION: u32 = 1;
+/// Legacy copying format.
+pub const VERSION_V1: u32 = 1;
+/// Current zero-copy format.
+pub const VERSION_V2: u32 = 2;
+/// Fixed v2 header length in bytes.
+pub const V2_HEADER_LEN: usize = 32;
+/// v2 directory entry length in bytes.
+pub const V2_DIR_ENTRY_LEN: usize = 32;
+/// Section owner value meaning "not a leaf graph" (tables, vocabs, the
+/// meta-fallback graph).
+pub const V2_NO_OWNER: u32 = u32::MAX;
 
-/// Serializes `model` to an owned byte buffer.
+/// v2 section kinds (directory `kind` field).
+pub mod section {
+    pub const LEAF_TABLE: u32 = 1;
+    pub const TOKENS_VOCAB: u32 = 2;
+    pub const KEYPHRASES_VOCAB: u32 = 3;
+    pub const ROW_TOKENS: u32 = 4;
+    pub const CSR_OFFSETS: u32 = 5;
+    pub const CSR_TARGETS: u32 = 6;
+    pub const LABELS: u32 = 7;
+    pub const LABEL_LENS: u32 = 8;
+    pub const SEARCH: u32 = 9;
+    pub const RECALL: u32 = 10;
+
+    /// The seven per-graph kinds, in serialized order.
+    pub const GRAPH_KINDS: [u32; 7] =
+        [ROW_TOKENS, CSR_OFFSETS, CSR_TARGETS, LABELS, LABEL_LENS, SEARCH, RECALL];
+}
+
+/// Serializes `model` in the current (v2, zero-copy-loadable) format.
 pub fn to_bytes(model: &GraphExModel) -> Bytes {
+    to_bytes_v2(model)
+}
+
+/// FNV-1a of `data` — the checksum both formats append and the value the
+/// registry records in snapshot manifests.
+pub fn checksum(data: &[u8]) -> u64 {
+    fnv1a(data)
+}
+
+// ====================================================================
+// v1: legacy length-prefixed stream
+// ====================================================================
+
+/// Serializes `model` in the legacy v1 format (copying loader). Kept for
+/// migration tooling and as the baseline in the snapshot benches.
+pub fn to_bytes_v1(model: &GraphExModel) -> Bytes {
     let mut buf = BytesMut::with_capacity(1024);
     buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    let mut flags = 0u8;
-    if model.stemming {
-        flags |= 1;
-    }
-    if model.fallback.is_some() {
-        flags |= 2;
-    }
-    buf.put_u8(flags);
-    buf.put_u8(match model.alignment {
-        Alignment::Lta => 0,
-        Alignment::Wmr => 1,
-        Alignment::Jac => 2,
-    });
+    buf.put_u32_le(VERSION_V1);
+    buf.put_u8(model_flags(model));
+    buf.put_u8(alignment_tag(model.alignment));
     put_vocab(&mut buf, &model.tokens);
     put_vocab(&mut buf, &model.keyphrases);
 
-    // Deterministic leaf order.
-    let mut leaf_ids: Vec<LeafId> = model.leaves.keys().copied().collect();
-    leaf_ids.sort_unstable();
+    let leaf_ids = sorted_leaf_ids(model);
     buf.put_u32_le(leaf_ids.len() as u32);
     for leaf in leaf_ids {
         buf.put_u32_le(leaf.0);
@@ -75,36 +129,14 @@ pub fn to_bytes(model: &GraphExModel) -> Bytes {
     buf.freeze()
 }
 
-/// Parses a model from bytes.
-pub fn from_bytes(data: &[u8]) -> Result<GraphExModel> {
-    if data.len() < MAGIC.len() + 4 + 2 + 8 {
-        return Err(GraphExError::Corrupt("file too short".into()));
-    }
-    let (payload, trailer) = data.split_at(data.len() - 8);
-    let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
-    if fnv1a(payload) != stored {
-        return Err(GraphExError::Corrupt("checksum mismatch".into()));
-    }
-
-    let mut buf = payload;
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(GraphExError::Corrupt("bad magic".into()));
-    }
-    let version = buf.get_u32_le();
-    if version != VERSION {
-        return Err(GraphExError::UnsupportedVersion(version));
-    }
+fn parse_v1(payload: &[u8]) -> Result<GraphExModel> {
+    // `payload` excludes the trailer; checksum/magic/version were already
+    // verified by `preflight`.
+    let mut buf = &payload[8..];
     let flags = buf.get_u8();
     let stemming = flags & 1 != 0;
     let has_fallback = flags & 2 != 0;
-    let alignment = match buf.get_u8() {
-        0 => Alignment::Lta,
-        1 => Alignment::Wmr,
-        2 => Alignment::Jac,
-        other => return Err(GraphExError::Corrupt(format!("unknown alignment tag {other}"))),
-    };
+    let alignment = alignment_from_tag(buf.get_u8())?;
 
     let tokens = get_vocab(&mut buf)?;
     let keyphrases = get_vocab(&mut buf)?;
@@ -138,24 +170,525 @@ pub fn from_bytes(data: &[u8]) -> Result<GraphExModel> {
     })
 }
 
-/// Writes the model to `path` (buffered).
+// ====================================================================
+// v2: aligned sections + directory, zero-copy load
+// ====================================================================
+
+/// Serializes `model` in the v2 format (see the module docs for the
+/// layout).
+pub fn to_bytes_v2(model: &GraphExModel) -> Bytes {
+    let leaf_ids = sorted_leaf_ids(model);
+
+    let mut buf = BytesMut::with_capacity(4096);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION_V2);
+    buf.put_u8(model_flags(model));
+    buf.put_u8(alignment_tag(model.alignment));
+    buf.put_u16_le(0); // reserved
+    buf.put_u32_le(leaf_ids.len() as u32);
+    buf.put_u64_le(0); // directory offset, patched below
+    buf.put_u32_le(0); // section count, patched below
+    buf.put_u32_le(0); // reserved
+    debug_assert_eq!(buf.len(), V2_HEADER_LEN);
+
+    let mut dir: Vec<RawSection> = Vec::new();
+
+    put_section(&mut buf, &mut dir, section::LEAF_TABLE, V2_NO_OWNER, leaf_ids.len() as u64, |b| {
+        for leaf in &leaf_ids {
+            b.put_u32_le(leaf.0);
+        }
+    });
+    put_section(&mut buf, &mut dir, section::TOKENS_VOCAB, V2_NO_OWNER, model.tokens.len() as u64, |b| {
+        put_vocab_blob(b, &model.tokens);
+    });
+    put_section(
+        &mut buf,
+        &mut dir,
+        section::KEYPHRASES_VOCAB,
+        V2_NO_OWNER,
+        model.keyphrases.len() as u64,
+        |b| put_vocab_blob(b, &model.keyphrases),
+    );
+    for (index, leaf) in leaf_ids.iter().enumerate() {
+        put_graph_sections(&mut buf, &mut dir, index as u32, &model.leaves[leaf]);
+    }
+    if let Some(fb) = &model.fallback {
+        put_graph_sections(&mut buf, &mut dir, V2_NO_OWNER, fb);
+    }
+
+    pad_to_8(&mut buf);
+    let dir_offset = buf.len() as u64;
+    let section_count = dir.len() as u32;
+    for entry in &dir {
+        buf.put_u32_le(entry.kind);
+        buf.put_u32_le(entry.owner);
+        buf.put_u64_le(entry.offset);
+        buf.put_u64_le(entry.byte_len);
+        buf.put_u64_le(entry.elems);
+    }
+    buf[16..24].copy_from_slice(&dir_offset.to_le_bytes());
+    buf[24..28].copy_from_slice(&section_count.to_le_bytes());
+
+    let checksum = fnv1a(&buf);
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
+/// One directory entry (also returned by [`inspect`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawSection {
+    pub kind: u32,
+    /// Leaf index this section belongs to, or [`V2_NO_OWNER`] for tables,
+    /// vocabs, and the fallback graph.
+    pub owner: u32,
+    /// Absolute byte offset (8-aligned).
+    pub offset: u64,
+    pub byte_len: u64,
+    /// Element count: array length, or string count for vocab blobs.
+    pub elems: u64,
+}
+
+/// Parses a model from a byte slice.
+///
+/// Dispatches on the format version: v1 streams are materialized with
+/// owned arrays; v2 buffers are **copied once** into an 8-byte-aligned
+/// buffer and then loaded zero-copy from that copy (a borrowed slice
+/// cannot be refcounted). Call [`from_shared`] (or [`load_from`]) with an
+/// aligned [`Bytes`] to skip the realign copy entirely.
+pub fn from_bytes(data: &[u8]) -> Result<GraphExModel> {
+    match preflight(data)? {
+        VERSION_V1 => parse_v1(&data[..data.len() - 8]),
+        VERSION_V2 => parse_v2(Bytes::from_owner(AlignedBuf::copy_from(data))),
+        other => Err(GraphExError::UnsupportedVersion(other)),
+    }
+}
+
+/// Parses a model from a shared buffer, borrowing all v2 array sections
+/// from it — the zero-copy load path.
+///
+/// The buffer must be 8-byte aligned for the borrow to be taken directly
+/// (buffers produced by [`AlignedBuf`] — and any mmap — always are); an
+/// unaligned buffer is realigned with one copy rather than rejected.
+pub fn from_shared(data: Bytes) -> Result<GraphExModel> {
+    match preflight(&data)? {
+        VERSION_V1 => parse_v1(&data[..data.len() - 8]),
+        VERSION_V2 => {
+            if data.as_ptr() as usize % 8 == 0 {
+                parse_v2(data)
+            } else {
+                parse_v2(Bytes::from_owner(AlignedBuf::copy_from(&data)))
+            }
+        }
+        other => Err(GraphExError::UnsupportedVersion(other)),
+    }
+}
+
+fn parse_v2(data: Bytes) -> Result<GraphExModel> {
+    debug_assert_eq!(data.as_ptr() as usize % 8, 0, "parse_v2 requires an aligned buffer");
+    if data.len() < V2_HEADER_LEN + 8 {
+        return Err(GraphExError::Corrupt("v2 file too short".into()));
+    }
+    // Header.
+    let flags = data[8];
+    let stemming = flags & 1 != 0;
+    let has_fallback = flags & 2 != 0;
+    let alignment = alignment_from_tag(data[9])?;
+    let num_leaves = read_u32(&data, 12) as usize;
+    let dir_offset = read_u64(&data, 16);
+
+    // Directory decode + bounds (shared with `inspect`), then the
+    // per-entry checks only the full load needs: every section 8-aligned
+    // inside [header, directory), and no duplicate (kind, owner) key.
+    let entries = read_directory(&data)?;
+    let mut sections: FxHashMap<(u32, u32), RawSection> =
+        FxHashMap::with_capacity_and_hasher(entries.len(), Default::default());
+    for (i, entry) in entries.into_iter().enumerate() {
+        let end = entry.offset.checked_add(entry.byte_len);
+        if entry.offset % 8 != 0 || entry.offset < V2_HEADER_LEN as u64 || end.is_none() || end > Some(dir_offset) {
+            return Err(GraphExError::Corrupt(format!("section {i} out of bounds")));
+        }
+        if sections.insert((entry.kind, entry.owner), entry).is_some() {
+            return Err(GraphExError::Corrupt(format!(
+                "duplicate section kind {} owner {}",
+                entry.kind, entry.owner
+            )));
+        }
+    }
+    let mut consumed = 0usize;
+    let mut take = |kind: u32, owner: u32| -> Result<RawSection> {
+        consumed += 1;
+        sections
+            .get(&(kind, owner))
+            .copied()
+            .ok_or_else(|| GraphExError::Corrupt(format!("missing section kind {kind} owner {owner}")))
+    };
+
+    // Tables and vocabs.
+    let leaf_table = take(section::LEAF_TABLE, V2_NO_OWNER)?;
+    if leaf_table.elems != num_leaves as u64 {
+        return Err(GraphExError::Corrupt("leaf table length != num_leaves".into()));
+    }
+    let leaf_ids = u32_view(&data, &leaf_table)?;
+    let tokens_sec = take(section::TOKENS_VOCAB, V2_NO_OWNER)?;
+    let tokens = get_vocab_blob(section_bytes(&data, &tokens_sec), tokens_sec.elems)?;
+    let keyphrases_sec = take(section::KEYPHRASES_VOCAB, V2_NO_OWNER)?;
+    let keyphrases = get_vocab_blob(section_bytes(&data, &keyphrases_sec), keyphrases_sec.elems)?;
+    let num_keyphrases = keyphrases.len() as u32;
+
+    // Per-leaf graphs, then the fallback.
+    let mut leaves: FxHashMap<LeafId, LeafGraph> =
+        FxHashMap::with_capacity_and_hasher(num_leaves, Default::default());
+    for index in 0..num_leaves {
+        let graph = graph_from_sections(&data, index as u32, num_keyphrases, &mut take)?;
+        let leaf = LeafId(leaf_ids[index]);
+        if leaves.insert(leaf, graph).is_some() {
+            return Err(GraphExError::Corrupt(format!("duplicate {leaf}")));
+        }
+    }
+    let fallback = if has_fallback {
+        Some(Box::new(graph_from_sections(&data, V2_NO_OWNER, num_keyphrases, &mut take)?))
+    } else {
+        None
+    };
+    if consumed != sections.len() {
+        return Err(GraphExError::Corrupt("unexpected extra sections".into()));
+    }
+
+    Ok(GraphExModel {
+        tokenizer: GraphExModel::make_tokenizer(stemming),
+        tokens,
+        keyphrases,
+        leaves,
+        fallback,
+        alignment,
+        stemming,
+    })
+}
+
+fn graph_from_sections(
+    data: &Bytes,
+    owner: u32,
+    num_keyphrases: u32,
+    take: &mut impl FnMut(u32, u32) -> Result<RawSection>,
+) -> Result<LeafGraph> {
+    let row_tokens = u32_view(data, &take(section::ROW_TOKENS, owner)?)?;
+    let offsets = u32_view(data, &take(section::CSR_OFFSETS, owner)?)?;
+    let targets = u32_view(data, &take(section::CSR_TARGETS, owner)?)?;
+    let labels = u32_view(data, &take(section::LABELS, owner)?)?;
+    let label_lens = u16_view(data, &take(section::LABEL_LENS, owner)?)?;
+    let search = u32_view(data, &take(section::SEARCH, owner)?)?;
+    let recall = u32_view(data, &take(section::RECALL, owner)?)?;
+    if labels.iter().any(|&kp| kp >= num_keyphrases) {
+        return Err(GraphExError::Corrupt("label references unknown keyphrase".into()));
+    }
+    LeafGraph::from_stores(
+        row_tokens.into(),
+        offsets.into(),
+        targets.into(),
+        labels.into(),
+        label_lens.into(),
+        search.into(),
+        recall.into(),
+    )
+    .map_err(GraphExError::Corrupt)
+}
+
+// ---- v2 writer helpers ------------------------------------------------
+
+fn put_section(
+    buf: &mut BytesMut,
+    dir: &mut Vec<RawSection>,
+    kind: u32,
+    owner: u32,
+    elems: u64,
+    write: impl FnOnce(&mut BytesMut),
+) {
+    pad_to_8(buf);
+    let offset = buf.len() as u64;
+    write(buf);
+    dir.push(RawSection { kind, owner, offset, byte_len: buf.len() as u64 - offset, elems });
+}
+
+fn put_graph_sections(buf: &mut BytesMut, dir: &mut Vec<RawSection>, owner: u32, graph: &LeafGraph) {
+    let (offsets, targets) = graph.csr_parts();
+    let arrays: [(&[u32], u32); 6] = [
+        (graph.row_tokens(), section::ROW_TOKENS),
+        (offsets, section::CSR_OFFSETS),
+        (targets, section::CSR_TARGETS),
+        (graph.labels(), section::LABELS),
+        (graph.searches(), section::SEARCH),
+        (graph.recalls(), section::RECALL),
+    ];
+    for (vals, kind) in arrays.iter().take(4).copied() {
+        put_section(buf, dir, kind, owner, vals.len() as u64, |b| {
+            for &v in vals {
+                b.put_u32_le(v);
+            }
+        });
+    }
+    put_section(buf, dir, section::LABEL_LENS, owner, graph.label_lens().len() as u64, |b| {
+        for &l in graph.label_lens() {
+            b.put_u16_le(l);
+        }
+    });
+    for (vals, kind) in arrays.iter().skip(4).copied() {
+        put_section(buf, dir, kind, owner, vals.len() as u64, |b| {
+            for &v in vals {
+                b.put_u32_le(v);
+            }
+        });
+    }
+}
+
+fn pad_to_8(buf: &mut BytesMut) {
+    while buf.len() % 8 != 0 {
+        buf.put_u8(0);
+    }
+}
+
+fn put_vocab_blob(buf: &mut BytesMut, vocab: &Vocab) {
+    for (_, s) in vocab.iter() {
+        debug_assert!(s.len() <= u16::MAX as usize);
+        buf.put_u16_le(s.len() as u16);
+        buf.put_slice(s.as_bytes());
+    }
+}
+
+fn get_vocab_blob(mut blob: &[u8], count: u64) -> Result<Vocab> {
+    let count = usize::try_from(count)
+        .map_err(|_| GraphExError::Corrupt("implausible vocab count".into()))?;
+    if count > blob.len() {
+        // Every entry takes at least 2 bytes; cheap plausibility gate.
+        return Err(GraphExError::Corrupt(format!("implausible vocab count: {count}")));
+    }
+    let mut vocab = Vocab::with_capacity(count);
+    for i in 0..count {
+        if blob.remaining() < 2 {
+            return Err(GraphExError::Corrupt("truncated vocab entry length".into()));
+        }
+        let len = blob.get_u16_le() as usize;
+        if blob.remaining() < len {
+            return Err(GraphExError::Corrupt("truncated vocab entry".into()));
+        }
+        let (head, rest) = blob.split_at(len);
+        let s = std::str::from_utf8(head)
+            .map_err(|_| GraphExError::Corrupt("vocab entry is not utf-8".into()))?;
+        let id = vocab.intern(s);
+        if id as usize != i {
+            return Err(GraphExError::Corrupt("duplicate vocab entry".into()));
+        }
+        blob = rest;
+    }
+    if blob.has_remaining() {
+        return Err(GraphExError::Corrupt("trailing bytes in vocab section".into()));
+    }
+    Ok(vocab)
+}
+
+// ---- v2 reader helpers ------------------------------------------------
+
+fn section_bytes<'a>(data: &'a Bytes, sec: &RawSection) -> &'a [u8] {
+    // Bounds were validated against the directory when `sec` was parsed.
+    &data[sec.offset as usize..(sec.offset + sec.byte_len) as usize]
+}
+
+fn section_slice(data: &Bytes, sec: &RawSection) -> Bytes {
+    data.slice(sec.offset as usize..(sec.offset + sec.byte_len) as usize)
+}
+
+fn u32_view(data: &Bytes, sec: &RawSection) -> Result<PodView<u32>> {
+    if sec.byte_len != sec.elems.wrapping_mul(4) {
+        return Err(GraphExError::Corrupt("u32 section length mismatch".into()));
+    }
+    PodView::new(section_slice(data, sec))
+        .ok_or_else(|| GraphExError::Corrupt("misaligned u32 section".into()))
+}
+
+fn u16_view(data: &Bytes, sec: &RawSection) -> Result<PodView<u16>> {
+    if sec.byte_len != sec.elems.wrapping_mul(2) {
+        return Err(GraphExError::Corrupt("u16 section length mismatch".into()));
+    }
+    PodView::new(section_slice(data, sec))
+        .ok_or_else(|| GraphExError::Corrupt("misaligned u16 section".into()))
+}
+
+fn read_u32(data: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(data[at..at + 4].try_into().expect("4 bytes"))
+}
+
+fn read_u64(data: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(data[at..at + 8].try_into().expect("8 bytes"))
+}
+
+// ====================================================================
+// Common entry points
+// ====================================================================
+
+/// Verifies the checksum trailer and magic, returning the format version.
+/// The checksum runs **first**, so any corruption — including of the
+/// version field itself — reports [`GraphExError::Corrupt`], never a
+/// bogus [`GraphExError::UnsupportedVersion`].
+fn preflight(data: &[u8]) -> Result<u32> {
+    if data.len() < MAGIC.len() + 4 + 2 + 8 {
+        return Err(GraphExError::Corrupt("file too short".into()));
+    }
+    let (payload, trailer) = data.split_at(data.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+    if fnv1a(payload) != stored {
+        return Err(GraphExError::Corrupt("checksum mismatch".into()));
+    }
+    if &payload[..4] != MAGIC {
+        return Err(GraphExError::Corrupt("bad magic".into()));
+    }
+    Ok(read_u32(payload, 4))
+}
+
+/// Writes the model to `path` (buffered, v2 format).
 pub fn save_to(model: &GraphExModel, path: impl AsRef<Path>) -> Result<()> {
-    let bytes = to_bytes(model);
+    write_bytes_to(&to_bytes(model), path)
+}
+
+/// Writes an already-serialized snapshot to `path` (buffered).
+pub fn write_bytes_to(bytes: &[u8], path: impl AsRef<Path>) -> Result<()> {
     let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-    file.write_all(&bytes)?;
+    file.write_all(bytes)?;
     file.flush()?;
     Ok(())
 }
 
 /// Reads a model from `path`.
+///
+/// The file is read straight into an 8-byte-aligned buffer, so a v2
+/// snapshot loads zero-copy: the returned model's CSR/label/score arrays
+/// borrow from that single buffer for the model's lifetime.
 pub fn load_from(path: impl AsRef<Path>) -> Result<GraphExModel> {
-    let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
-    let mut data = Vec::new();
-    file.read_to_end(&mut data)?;
-    from_bytes(&data)
+    from_shared(read_aligned(path)?)
 }
 
-// --- helpers -----------------------------------------------------------
+/// Reads a whole file into an aligned shared buffer (the v2 load buffer).
+pub fn read_aligned(path: impl AsRef<Path>) -> Result<Bytes> {
+    let file = std::fs::File::open(path)?;
+    let len = usize::try_from(file.metadata()?.len())
+        .map_err(|_| GraphExError::Corrupt("file too large for this platform".into()))?;
+    let mut reader = std::io::BufReader::new(file);
+    Ok(Bytes::from_owner(AlignedBuf::read_exact(&mut reader, len)?))
+}
+
+/// Cheap snapshot metadata (no graph materialization for v2): what
+/// `graphex model inspect` prints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    pub version: u32,
+    pub stemming: bool,
+    pub has_fallback: bool,
+    pub alignment: Alignment,
+    pub num_leaves: u64,
+    pub num_tokens: u64,
+    pub num_keyphrases: u64,
+    /// v2 only: number of directory sections.
+    pub num_sections: Option<u32>,
+    pub size_bytes: usize,
+    /// The stored FNV-1a trailer.
+    pub checksum: u64,
+}
+
+/// Inspects a serialized snapshot: header + directory for v2 (cheap), a
+/// full parse for v1 (the stream has no summary header).
+pub fn inspect(data: &[u8]) -> Result<SnapshotInfo> {
+    let version = preflight(data)?;
+    let stored_checksum = u64::from_le_bytes(data[data.len() - 8..].try_into().expect("trailer"));
+    match version {
+        VERSION_V1 => {
+            let model = from_bytes(data)?;
+            Ok(SnapshotInfo {
+                version,
+                stemming: model.stemming(),
+                has_fallback: model.has_fallback(),
+                alignment: model.alignment(),
+                num_leaves: model.leaf_ids().count() as u64,
+                num_tokens: model.tokens.len() as u64,
+                num_keyphrases: model.num_keyphrases() as u64,
+                num_sections: None,
+                size_bytes: data.len(),
+                checksum: stored_checksum,
+            })
+        }
+        VERSION_V2 => {
+            if data.len() < V2_HEADER_LEN + 8 {
+                return Err(GraphExError::Corrupt("v2 file too short".into()));
+            }
+            let sections = read_directory(data)?;
+            let elems_of = |kind: u32| {
+                sections
+                    .iter()
+                    .find(|s| s.kind == kind && s.owner == V2_NO_OWNER)
+                    .map_or(0, |s| s.elems)
+            };
+            Ok(SnapshotInfo {
+                version,
+                stemming: data[8] & 1 != 0,
+                has_fallback: data[8] & 2 != 0,
+                alignment: alignment_from_tag(data[9])?,
+                num_leaves: u64::from(read_u32(data, 12)),
+                num_tokens: elems_of(section::TOKENS_VOCAB),
+                num_keyphrases: elems_of(section::KEYPHRASES_VOCAB),
+                num_sections: Some(read_u32(data, 24)),
+                size_bytes: data.len(),
+                checksum: stored_checksum,
+            })
+        }
+        other => Err(GraphExError::UnsupportedVersion(other)),
+    }
+}
+
+/// Builds a [`SnapshotInfo`] for a model that was *already parsed* from
+/// `data` — header fields are read back without re-validating or
+/// re-scanning the buffer, so callers that hold both (e.g. registry
+/// `verify`) pay exactly one parse. `data` must be the validated bytes
+/// the model came from.
+pub fn inspect_model(model: &GraphExModel, data: &[u8]) -> SnapshotInfo {
+    let version = read_u32(data, 4);
+    SnapshotInfo {
+        version,
+        stemming: model.stemming(),
+        has_fallback: model.has_fallback(),
+        alignment: model.alignment(),
+        num_leaves: model.leaf_ids().count() as u64,
+        num_tokens: model.tokens.len() as u64,
+        num_keyphrases: model.num_keyphrases() as u64,
+        num_sections: (version == VERSION_V2).then(|| read_u32(data, 24)),
+        size_bytes: data.len(),
+        checksum: u64::from_le_bytes(data[data.len() - 8..].try_into().expect("trailer")),
+    }
+}
+
+/// Parses and bounds-checks the v2 section directory of a
+/// checksum-verified buffer.
+fn read_directory(data: &[u8]) -> Result<Vec<RawSection>> {
+    let payload_len = (data.len() - 8) as u64;
+    let dir_offset = read_u64(data, 16);
+    let count = read_u32(data, 24) as usize;
+    let dir_end = (count as u64)
+        .checked_mul(V2_DIR_ENTRY_LEN as u64)
+        .and_then(|l| dir_offset.checked_add(l));
+    if dir_offset % 8 != 0 || dir_offset < V2_HEADER_LEN as u64 || dir_end != Some(payload_len) {
+        return Err(GraphExError::Corrupt("directory out of bounds".into()));
+    }
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let base = dir_offset as usize + i * V2_DIR_ENTRY_LEN;
+        out.push(RawSection {
+            kind: read_u32(data, base),
+            owner: read_u32(data, base + 4),
+            offset: read_u64(data, base + 8),
+            byte_len: read_u64(data, base + 16),
+            elems: read_u64(data, base + 24),
+        });
+    }
+    Ok(out)
+}
+
+// --- shared helpers ----------------------------------------------------
 
 fn fnv1a(data: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
@@ -166,13 +699,43 @@ fn fnv1a(data: &[u8]) -> u64 {
     hash
 }
 
+fn model_flags(model: &GraphExModel) -> u8 {
+    let mut flags = 0u8;
+    if model.stemming {
+        flags |= 1;
+    }
+    if model.fallback.is_some() {
+        flags |= 2;
+    }
+    flags
+}
+
+fn alignment_tag(alignment: Alignment) -> u8 {
+    match alignment {
+        Alignment::Lta => 0,
+        Alignment::Wmr => 1,
+        Alignment::Jac => 2,
+    }
+}
+
+fn alignment_from_tag(tag: u8) -> Result<Alignment> {
+    match tag {
+        0 => Ok(Alignment::Lta),
+        1 => Ok(Alignment::Wmr),
+        2 => Ok(Alignment::Jac),
+        other => Err(GraphExError::Corrupt(format!("unknown alignment tag {other}"))),
+    }
+}
+
+fn sorted_leaf_ids(model: &GraphExModel) -> Vec<LeafId> {
+    let mut leaf_ids: Vec<LeafId> = model.leaves.keys().copied().collect();
+    leaf_ids.sort_unstable();
+    leaf_ids
+}
+
 fn put_vocab(buf: &mut BytesMut, vocab: &Vocab) {
     buf.put_u32_le(vocab.len() as u32);
-    for (_, s) in vocab.iter() {
-        debug_assert!(s.len() <= u16::MAX as usize);
-        buf.put_u16_le(s.len() as u16);
-        buf.put_slice(s.as_bytes());
-    }
+    put_vocab_blob(buf, vocab);
 }
 
 fn get_vocab(buf: &mut &[u8]) -> Result<Vocab> {
@@ -275,6 +838,7 @@ mod tests {
     fn sample_model() -> GraphExModel {
         let mut config = GraphExConfig::default();
         config.curation.min_search_count = 0;
+        config.build_meta_fallback = false;
         GraphExBuilder::new(config)
             .add_records(vec![
                 KeyphraseRecord::new("audeze maxwell", LeafId(7), 900, 120),
@@ -285,29 +849,61 @@ mod tests {
             .unwrap()
     }
 
-    #[test]
-    fn roundtrip_preserves_behavior() {
-        let model = sample_model();
-        let bytes = to_bytes(&model);
-        let restored = from_bytes(&bytes).unwrap();
-        for (title, leaf) in [
+    fn infer_outputs(model: &GraphExModel) -> Vec<(Vec<String>, Vec<crate::Prediction>)> {
+        let mut scratch = crate::Scratch::new();
+        [
             ("audeze maxwell gaming headphones xbox", LeafId(7)),
             ("usb c wall charger", LeafId(9)),
             ("anything unknown", LeafId(12345)),
-        ] {
-            let mut scratch = crate::Scratch::new();
-            let req = crate::InferRequest::new(title, leaf).k(10);
-            let a = model.infer_request(&req, &mut scratch).predictions;
-            let b = restored.infer_request(&req, &mut scratch).predictions;
-            assert_eq!(a.len(), b.len());
-            for (x, y) in a.iter().zip(&b) {
-                assert_eq!(model.keyphrase_text(x.keyphrase), restored.keyphrase_text(y.keyphrase));
-                assert_eq!((x.matched, x.label_len, x.search_count), (y.matched, y.label_len, y.search_count));
-            }
-        }
+        ]
+        .iter()
+        .map(|&(title, leaf)| {
+            let req = crate::InferRequest::new(title, leaf).k(10).resolve_texts(true);
+            let resp = model.infer_request(&req, &mut scratch);
+            (resp.texts, resp.predictions)
+        })
+        .collect()
+    }
+
+    #[test]
+    fn v2_roundtrip_preserves_behavior() {
+        let model = sample_model();
+        let restored = from_bytes(&to_bytes(&model)).unwrap();
+        assert_eq!(infer_outputs(&model), infer_outputs(&restored));
         assert_eq!(model.alignment(), restored.alignment());
         assert_eq!(model.stemming(), restored.stemming());
         assert_eq!(model.has_fallback(), restored.has_fallback());
+    }
+
+    #[test]
+    fn v1_roundtrip_preserves_behavior() {
+        let model = sample_model();
+        let restored = from_bytes(&to_bytes_v1(&model)).unwrap();
+        assert_eq!(infer_outputs(&model), infer_outputs(&restored));
+    }
+
+    #[test]
+    fn v1_to_v2_migration_is_inference_identical() {
+        let model = sample_model();
+        let via_v1 = from_bytes(&to_bytes_v1(&model)).unwrap();
+        let via_v2 = from_shared(to_bytes_v2(&via_v1)).unwrap();
+        assert_eq!(infer_outputs(&model), infer_outputs(&via_v2));
+    }
+
+    #[test]
+    fn v2_load_borrows_sections_zero_copy() {
+        let model = sample_model();
+        let bytes = to_bytes(&model);
+        // from_shared on the (aligned) serializer output: zero-copy.
+        let loaded = from_shared(bytes).unwrap();
+        for leaf in loaded.leaf_ids() {
+            assert!(loaded.leaf_graph(leaf).unwrap().is_zero_copy(), "{leaf} was copied");
+        }
+        // The owned construction path is not view-backed.
+        assert!(!model.leaf_graph(LeafId(7)).unwrap().is_zero_copy());
+        // The v1 loader copies (owned arrays).
+        let v1 = from_bytes(&to_bytes_v1(&model)).unwrap();
+        assert!(!v1.leaf_graph(LeafId(7)).unwrap().is_zero_copy());
     }
 
     #[test]
@@ -319,55 +915,129 @@ mod tests {
         save_to(&model, &path).unwrap();
         let restored = load_from(&path).unwrap();
         assert_eq!(restored.num_keyphrases(), model.num_keyphrases());
+        assert!(restored.leaf_ids().all(|l| restored.leaf_graph(l).unwrap().is_zero_copy()));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn golden_v2_header_layout() {
+        // Pins the v2 header byte layout. If this test fails, the format
+        // changed: bump the version number instead of silently drifting.
+        let mut config = GraphExConfig::default();
+        config.curation.min_search_count = 0;
+        config.build_meta_fallback = true;
+        let model = GraphExBuilder::new(config)
+            .add_records(vec![
+                KeyphraseRecord::new("audeze maxwell", LeafId(7), 900, 120),
+                KeyphraseRecord::new("usb c charger", LeafId(9), 500, 50),
+            ])
+            .build()
+            .unwrap();
+        let bytes = to_bytes(&model);
+
+        assert_eq!(&bytes[0..4], b"GEXM");
+        assert_eq!(read_u32(&bytes, 4), 2, "version");
+        assert_eq!(bytes[8], 0b11, "flags: stemming + fallback");
+        assert_eq!(bytes[9], 0, "alignment tag: LTA");
+        assert_eq!(&bytes[10..12], &[0, 0], "reserved");
+        assert_eq!(read_u32(&bytes, 12), 2, "num_leaves");
+        let dir_offset = read_u64(&bytes, 16);
+        let section_count = read_u32(&bytes, 24);
+        assert_eq!(&bytes[28..32], &[0, 0, 0, 0], "reserved");
+        // 3 table/vocab sections + 7 per graph (2 leaves + fallback).
+        assert_eq!(section_count, 3 + 7 * 3);
+        assert_eq!(dir_offset % 8, 0);
+        assert_eq!(
+            dir_offset as usize + section_count as usize * V2_DIR_ENTRY_LEN + 8,
+            bytes.len(),
+            "directory runs exactly to the checksum trailer"
+        );
+        // First section: the leaf table, immediately after the header.
+        assert_eq!(read_u32(&bytes, dir_offset as usize), section::LEAF_TABLE);
+        assert_eq!(read_u64(&bytes, dir_offset as usize + 8), V2_HEADER_LEN as u64);
+        // Every section is 8-aligned and inside [header, directory).
+        for s in read_directory(&bytes).unwrap() {
+            assert_eq!(s.offset % 8, 0, "section {s:?} misaligned");
+            assert!(s.offset >= V2_HEADER_LEN as u64 && s.offset + s.byte_len <= dir_offset);
+        }
     }
 
     #[test]
     fn detects_truncation() {
         let bytes = to_bytes(&sample_model());
-        for cut in [0, 3, 10, bytes.len() / 2, bytes.len() - 1] {
+        for cut in [0, 3, 10, 33, bytes.len() / 2, bytes.len() - 1] {
             let res = from_bytes(&bytes[..cut]);
-            assert!(res.is_err(), "truncation at {cut} not detected");
+            assert!(
+                matches!(res, Err(GraphExError::Corrupt(_))),
+                "truncation at {cut} not detected as Corrupt"
+            );
         }
     }
 
     #[test]
-    fn detects_bitflips() {
-        let bytes = to_bytes(&sample_model()).to_vec();
-        // Flip a byte in the middle: checksum must catch it.
-        for pos in [8, bytes.len() / 3, bytes.len() / 2] {
-            let mut corrupted = bytes.clone();
-            corrupted[pos] ^= 0xFF;
-            assert!(
-                matches!(from_bytes(&corrupted), Err(GraphExError::Corrupt(_))),
-                "bitflip at {pos} not detected"
-            );
+    fn detects_bitflips_as_corrupt() {
+        for bytes in [to_bytes(&sample_model()).to_vec(), to_bytes_v1(&sample_model()).to_vec()] {
+            // Any flipped byte — header, payload, or trailer — must be
+            // caught by the checksum, which runs before version dispatch.
+            for pos in [0, 4, 8, bytes.len() / 3, bytes.len() / 2, bytes.len() - 1] {
+                let mut corrupted = bytes.clone();
+                corrupted[pos] ^= 0xFF;
+                assert!(
+                    matches!(from_bytes(&corrupted), Err(GraphExError::Corrupt(_))),
+                    "bitflip at {pos} not detected as Corrupt"
+                );
+            }
         }
     }
 
     #[test]
     fn rejects_wrong_magic_and_version() {
         let bytes = to_bytes(&sample_model()).to_vec();
+        let n = bytes.len();
         let mut wrong_magic = bytes.clone();
         wrong_magic[0] = b'X';
         // checksum catches it first; rewrite checksum to isolate magic check
-        let n = wrong_magic.len();
         let sum = fnv1a(&wrong_magic[..n - 8]);
         wrong_magic[n - 8..].copy_from_slice(&sum.to_le_bytes());
         assert!(matches!(from_bytes(&wrong_magic), Err(GraphExError::Corrupt(_))));
 
         let mut wrong_version = bytes;
         wrong_version[4] = 99;
-        let n = wrong_version.len();
         let sum = fnv1a(&wrong_version[..n - 8]);
         wrong_version[n - 8..].copy_from_slice(&sum.to_le_bytes());
         assert!(matches!(from_bytes(&wrong_version), Err(GraphExError::UnsupportedVersion(99))));
     }
 
     #[test]
-    fn size_bytes_is_serialized_length() {
+    fn v2_is_larger_but_loads_without_copies() {
+        // Size sanity: v2 pays padding + directory overhead over v1.
         let model = sample_model();
-        assert_eq!(model.size_bytes(), to_bytes(&model).len());
+        let v1 = to_bytes_v1(&model);
+        let v2 = to_bytes(&model);
+        assert!(v2.len() > v1.len());
+        assert_eq!(model.size_bytes(), v2.len());
+    }
+
+    #[test]
+    fn inspect_reads_both_versions() {
+        let model = sample_model();
+        let v2 = to_bytes(&model);
+        let info = inspect(&v2).unwrap();
+        assert_eq!(info.version, 2);
+        assert_eq!(info.num_leaves, 2);
+        assert_eq!(info.num_keyphrases, 3);
+        assert!(info.num_tokens >= 7);
+        assert_eq!(info.num_sections, Some(3 + 7 * 2));
+        assert_eq!(info.size_bytes, v2.len());
+        assert!(info.stemming);
+        assert!(!info.has_fallback);
+
+        let v1 = to_bytes_v1(&model);
+        let info1 = inspect(&v1).unwrap();
+        assert_eq!(info1.version, 1);
+        assert_eq!(info1.num_leaves, 2);
+        assert_eq!(info1.num_keyphrases, 3);
+        assert_eq!(info1.num_sections, None);
     }
 
     #[test]

@@ -1,22 +1,42 @@
 //! Deserialization robustness: arbitrary and mutated byte streams must
 //! never panic, loop, or silently succeed — corrupt model files are an
 //! operational reality for anything loaded from disk.
+//!
+//! The corruption properties are pinned to [`GraphExError::Corrupt`]
+//! specifically (not just "some error"): the checksum runs before
+//! version dispatch, so no flip or truncation may surface as a bogus
+//! `UnsupportedVersion` or — worse — a panic.
 
-use graphex_core::{serialize, GraphExBuilder, GraphExConfig, KeyphraseRecord, LeafId};
+use graphex_core::{serialize, GraphExBuilder, GraphExConfig, GraphExError, KeyphraseRecord, LeafId};
 use proptest::prelude::*;
 
-fn sample_bytes() -> Vec<u8> {
+fn sample_model() -> graphex_core::GraphExModel {
     let mut config = GraphExConfig::default();
     config.curation.min_search_count = 0;
-    let model = GraphExBuilder::new(config)
+    GraphExBuilder::new(config)
         .add_records(vec![
             KeyphraseRecord::new("audeze maxwell", LeafId(7), 900, 120),
             KeyphraseRecord::new("gaming headphones xbox", LeafId(7), 800, 700),
             KeyphraseRecord::new("usb c charger", LeafId(9), 500, 50),
         ])
         .build()
-        .unwrap();
-    serialize::to_bytes(&model).to_vec()
+        .unwrap()
+}
+
+fn sample_bytes_v2() -> Vec<u8> {
+    serialize::to_bytes(&sample_model()).to_vec()
+}
+
+fn sample_bytes_v1() -> Vec<u8> {
+    serialize::to_bytes_v1(&sample_model()).to_vec()
+}
+
+fn assert_corrupt(res: Result<graphex_core::GraphExModel, GraphExError>, what: &str) {
+    match res {
+        Err(GraphExError::Corrupt(_)) => {}
+        Err(other) => panic!("{what}: expected Corrupt, got {other:?}"),
+        Ok(_) => panic!("{what}: corrupt bytes accepted"),
+    }
 }
 
 proptest! {
@@ -26,38 +46,65 @@ proptest! {
         let _ = serialize::from_bytes(&data);
     }
 
-    /// Random single-byte mutations of a valid model: the checksum (or a
-    /// structural check) must reject every corruption.
+    /// Random single-byte flips of a valid v2 snapshot: always
+    /// `Corrupt` — the checksum rejects the flip before any structural
+    /// parsing (or version dispatch) can misread it.
     #[test]
-    fn mutated_model_is_rejected(pos in 0usize..1000, xor in 1u8..=255) {
-        let mut bytes = sample_bytes();
+    fn v2_byte_flips_are_corrupt(pos in 0usize..100_000, xor in 1u8..=255) {
+        let mut bytes = sample_bytes_v2();
         let idx = pos % bytes.len();
         bytes[idx] ^= xor;
-        prop_assert!(serialize::from_bytes(&bytes).is_err(), "mutation at {idx} accepted");
+        assert_corrupt(serialize::from_bytes(&bytes), "v2 flip");
     }
 
-    /// Random truncations: always rejected.
+    /// Random truncations of a v2 snapshot: always `Corrupt`.
     #[test]
-    fn truncations_are_rejected(cut in 0usize..1000) {
-        let bytes = sample_bytes();
+    fn v2_truncations_are_corrupt(cut in 0usize..100_000) {
+        let bytes = sample_bytes_v2();
         let cut = cut % bytes.len(); // strictly shorter than the valid model
-        prop_assert!(serialize::from_bytes(&bytes[..cut]).is_err());
+        assert_corrupt(serialize::from_bytes(&bytes[..cut]), "v2 truncation");
+    }
+
+    /// The legacy v1 stream holds the same properties.
+    #[test]
+    fn v1_flips_and_truncations_are_corrupt(pos in 0usize..100_000, xor in 1u8..=255, cut in 0usize..100_000) {
+        let mut bytes = sample_bytes_v1();
+        let idx = pos % bytes.len();
+        bytes[idx] ^= xor;
+        assert_corrupt(serialize::from_bytes(&bytes), "v1 flip");
+
+        let bytes = sample_bytes_v1();
+        assert_corrupt(serialize::from_bytes(&bytes[..cut % bytes.len()]), "v1 truncation");
     }
 
     /// Garbage appended after a valid model: rejected (trailing data means
     /// the reader and writer disagree about the format).
     #[test]
     fn trailing_garbage_is_rejected(tail in prop::collection::vec(any::<u8>(), 1..64)) {
-        let mut bytes = sample_bytes();
+        let mut bytes = sample_bytes_v2();
         bytes.extend_from_slice(&tail);
-        prop_assert!(serialize::from_bytes(&bytes).is_err());
+        assert_corrupt(serialize::from_bytes(&bytes), "v2 trailing garbage");
+    }
+
+    /// Flips survive the zero-copy path too: `from_shared` (aligned
+    /// buffer, borrowed sections) rejects exactly like `from_bytes`.
+    #[test]
+    fn v2_shared_load_rejects_flips(pos in 0usize..100_000, xor in 1u8..=255) {
+        let mut bytes = sample_bytes_v2();
+        let idx = pos % bytes.len();
+        bytes[idx] ^= xor;
+        let shared = bytes::Bytes::from_owner(graphex_core::storage::AlignedBuf::copy_from(&bytes));
+        assert_corrupt(serialize::from_shared(shared), "v2 shared flip");
     }
 }
 
 #[test]
 fn valid_model_still_loads() {
     // Guard against the fuzz tests passing because *everything* is rejected.
-    let bytes = sample_bytes();
-    let model = serialize::from_bytes(&bytes).expect("valid bytes load");
+    let bytes = sample_bytes_v2();
+    let model = serialize::from_bytes(&bytes).expect("valid v2 bytes load");
+    assert_eq!(model.num_keyphrases(), 3);
+    let v1 = sample_bytes_v1();
+    let model = serialize::from_bytes(&v1).expect("valid v1 bytes load");
     assert_eq!(model.num_keyphrases(), 3);
 }

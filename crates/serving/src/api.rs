@@ -23,6 +23,7 @@
 //!   therefore bumps once per item, not once per concurrent caller.
 
 use crate::kv::KvStore;
+use crate::registry::ModelWatch;
 use graphex_core::{
     Engine, GraphExModel, InferRequest, InferResponse, KeyphraseService, LeafId, Outcome,
 };
@@ -89,8 +90,14 @@ impl Flight {
 
 /// Read-through serving facade: a [`KeyphraseService`] backed by the KV
 /// store with an [`Engine`] behind it.
+///
+/// The engine is resolved through a [`ModelWatch`] per computation, so an
+/// api constructed over a [`crate::ModelRegistry`] picks up hot-swapped
+/// snapshots without restart — requests already inside `compute` finish
+/// on the model they started with ([`ServeStats::snapshot_version`] says
+/// which model is serving now).
 pub struct ServingApi {
-    engine: Engine,
+    watch: ModelWatch,
     store: Arc<KvStore>,
     default_k: usize,
     store_hits: AtomicU64,
@@ -116,6 +123,11 @@ pub struct ServeStats {
     pub unservable: u64,
     /// Every response tallied by its inference outcome.
     pub outcomes: graphex_core::OutcomeCounts,
+    /// Registry version of the model serving right now (0 when the api
+    /// was built over a fixed model instead of a registry watch).
+    pub snapshot_version: u64,
+    /// Hot swaps observed since the api's model source went live.
+    pub model_swaps: u64,
 }
 
 impl ServingApi {
@@ -127,8 +139,14 @@ impl ServingApi {
 
     /// Serving facade sharing an existing engine (and its scratch pool).
     pub fn with_engine(engine: Engine, store: Arc<KvStore>, default_k: usize) -> Self {
+        Self::with_watch(ModelWatch::fixed(engine), store, default_k)
+    }
+
+    /// Serving facade over a registry watch: republished snapshots swap in
+    /// live (get one from [`crate::ModelRegistry::watch`]).
+    pub fn with_watch(watch: ModelWatch, store: Arc<KvStore>, default_k: usize) -> Self {
         Self {
-            engine,
+            watch,
             store,
             default_k,
             store_hits: AtomicU64::new(0),
@@ -141,9 +159,11 @@ impl ServingApi {
         }
     }
 
-    /// The engine serving read-through inference.
-    pub fn engine(&self) -> &Engine {
-        &self.engine
+    /// The engine serving read-through inference *right now* (a cheap
+    /// clone of the watched model's engine; holders keep that snapshot
+    /// alive across swaps).
+    pub fn engine(&self) -> Engine {
+        self.watch.current().engine.clone()
     }
 
     /// Serves keyphrases for an item, computing on store miss — the
@@ -267,6 +287,8 @@ impl ServingApi {
                 unknown_leaf: load(&self.outcomes[Outcome::UnknownLeaf.index()]),
                 empty: load(&self.outcomes[Outcome::Empty.index()]),
             },
+            snapshot_version: self.watch.version(),
+            model_swaps: self.watch.swap_count(),
         }
     }
 
@@ -277,7 +299,9 @@ impl ServingApi {
     fn compute(&self, request: &InferRequest<'_>) -> Served {
         let request =
             if request.id.is_some() { request.resolve_texts(true) } else { *request };
-        let response = self.engine.infer(&request);
+        // Resolve the model per computation: this is the hot-swap seam.
+        // The `Arc` held here pins the snapshot for the whole inference.
+        let response = self.watch.current().engine.infer(&request);
         let source = if !response.outcome.is_servable() {
             ServeSource::None
         } else if request.id.is_some() {
@@ -594,6 +618,38 @@ mod tests {
                 "all callers accounted for"
             );
         }
+    }
+
+    /// Operators can see which model is serving: fixed apis report
+    /// version 0; registry-backed apis follow publishes live.
+    #[test]
+    fn stats_expose_snapshot_version_and_swaps() {
+        let fixed = ServingApi::new(model(), Arc::new(KvStore::new()), 10);
+        assert_eq!(fixed.stats().snapshot_version, 0);
+        assert_eq!(fixed.stats().model_swaps, 0);
+
+        let root = std::env::temp_dir()
+            .join(format!("graphex-api-registry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let registry = crate::ModelRegistry::open(&root).unwrap();
+        registry.publish(&model(), "first").unwrap();
+        let api = ServingApi::with_watch(
+            registry.watch().unwrap(),
+            Arc::new(KvStore::new()),
+            10,
+        );
+        let served = api.serve(1, "widget gadget pro", LeafId(1));
+        assert_ne!(served.source, ServeSource::None);
+        assert_eq!(api.stats().snapshot_version, 1);
+        assert_eq!(api.stats().model_swaps, 0);
+
+        // Republish: the api observes the swap without reconstruction.
+        registry.publish(&model(), "second").unwrap();
+        let served = api.serve(2, "widget gadget pro", LeafId(1));
+        assert_ne!(served.source, ServeSource::None);
+        assert_eq!(api.stats().snapshot_version, 2);
+        assert_eq!(api.stats().model_swaps, 1);
+        std::fs::remove_dir_all(&root).ok();
     }
 
     /// Unservable single-flight: coalesced followers of an unservable

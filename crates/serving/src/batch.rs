@@ -10,6 +10,7 @@
 //! skipped, not just how many.
 
 use crate::kv::KvStore;
+use crate::registry::ModelWatch;
 use graphex_core::parallel::batch_infer;
 use graphex_core::{GraphExModel, InferRequest, LeafId, OutcomeCounts};
 
@@ -30,11 +31,23 @@ pub struct BatchReport {
     /// Per-outcome tallies (`unknown_leaf` + `empty` = skipped items).
     pub outcomes: OutcomeCounts,
     pub elapsed_ms: u128,
+    /// Registry version of the snapshot this run scored with (0 when the
+    /// pipeline was built over a borrowed model instead of a watch).
+    pub snapshot_version: u64,
+}
+
+/// The model a pipeline scores with: borrowed directly, or resolved from
+/// a registry watch at the start of each run (so a long-lived pipeline
+/// picks up republished snapshots between runs, while any single run is
+/// scored by exactly one snapshot).
+enum PipelineModel<'a> {
+    Borrowed(&'a GraphExModel),
+    Watched(ModelWatch),
 }
 
 /// Batch executor over a GraphEx model writing into a [`KvStore`].
 pub struct BatchPipeline<'a> {
-    model: &'a GraphExModel,
+    model: PipelineModel<'a>,
     store: &'a KvStore,
     k: usize,
     threads: usize,
@@ -43,7 +56,13 @@ pub struct BatchPipeline<'a> {
 impl<'a> BatchPipeline<'a> {
     /// `threads = 0` uses all cores (the paper's batch node uses 70).
     pub fn new(model: &'a GraphExModel, store: &'a KvStore, k: usize, threads: usize) -> Self {
-        Self { model, store, k, threads }
+        Self { model: PipelineModel::Borrowed(model), store, k, threads }
+    }
+
+    /// Pipeline over a registry watch (see [`crate::ModelRegistry`]):
+    /// each run resolves the active snapshot at its start.
+    pub fn with_watch(watch: ModelWatch, store: &'a KvStore, k: usize, threads: usize) -> Self {
+        Self { model: PipelineModel::Watched(watch), store, k, threads }
     }
 
     /// Full pass over `items` ("for all items in eBay").
@@ -61,6 +80,20 @@ impl<'a> BatchPipeline<'a> {
 
     fn run(&self, items: &[BatchItem]) -> BatchReport {
         let start = std::time::Instant::now();
+        // Resolve once per run: the held `Arc` pins the snapshot for the
+        // entire pass even if a publish lands mid-run.
+        let (active, snapshot_version);
+        let model: &GraphExModel = match &self.model {
+            PipelineModel::Borrowed(m) => {
+                snapshot_version = 0;
+                m
+            }
+            PipelineModel::Watched(watch) => {
+                active = watch.current();
+                snapshot_version = active.version;
+                active.engine.model()
+            }
+        };
         let requests: Vec<InferRequest<'_>> = items
             .iter()
             .map(|i| {
@@ -70,7 +103,7 @@ impl<'a> BatchPipeline<'a> {
                     .resolve_texts(true)
             })
             .collect();
-        let responses = batch_infer(self.model, &requests, self.threads);
+        let responses = batch_infer(model, &requests, self.threads);
         let mut with_recs = 0usize;
         let mut total = 0usize;
         let mut outcomes = OutcomeCounts::default();
@@ -89,6 +122,7 @@ impl<'a> BatchPipeline<'a> {
             total_keyphrases: total,
             outcomes,
             elapsed_ms: start.elapsed().as_millis(),
+            snapshot_version,
         }
     }
 }

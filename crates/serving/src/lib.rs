@@ -17,12 +17,23 @@
 //! assert the property the architecture exists to provide: *batch and NRT
 //! agree* — an item served through either path carries the same keyphrases.
 
+//! A fourth moving part closes the production loop: the
+//! [`ModelRegistry`] (module [`registry`]) manages versioned snapshot
+//! directories and hot-swaps republished models under live traffic — the
+//! daily-refresh half of Fig. 7 the first cut of this crate left out.
+//! Serving, batch, and NRT all consume a [`registry::ModelWatch`] so a
+//! `publish` or `rollback` propagates to every consumer without restart.
+
 pub mod api;
 pub mod batch;
 pub mod kv;
 pub mod nrt;
+pub mod registry;
 
 pub use api::{ServeSource, ServeStats, Served, ServingApi};
 pub use batch::{BatchPipeline, BatchReport};
 pub use kv::KvStore;
 pub use nrt::{ItemEvent, NrtConfig, NrtService, NrtStats};
+pub use registry::{
+    ActiveModel, ModelRegistry, ModelWatch, RegistryError, RegistryResult, SnapshotMeta,
+};

@@ -11,7 +11,8 @@
 //! runs GraphEx inference, and writes to the KV store.
 
 use crate::kv::KvStore;
-use graphex_core::{GraphExModel, InferRequest, LeafId, Scratch};
+use crate::registry::ModelWatch;
+use graphex_core::{Engine, GraphExModel, InferRequest, LeafId, Scratch};
 use graphex_textkit::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -58,6 +59,11 @@ pub struct NrtStats {
     pub items_scored: u64,
     /// Events collapsed by window deduplication.
     pub deduplicated: u64,
+    /// Registry version of the last model the worker scored with (0 for a
+    /// fixed model without a registry).
+    pub snapshot_version: u64,
+    /// Model hot-swaps the worker observed between windows.
+    pub model_swaps: u64,
 }
 
 /// Running NRT service handle.
@@ -67,20 +73,34 @@ pub struct NrtService {
     received: Arc<AtomicU64>,
     scored: Arc<AtomicU64>,
     deduped: Arc<AtomicU64>,
+    snapshot_version: Arc<AtomicU64>,
+    model_swaps: Arc<AtomicU64>,
 }
 
 impl NrtService {
-    /// Starts the worker thread.
+    /// Starts the worker thread over one fixed model.
     pub fn start(model: Arc<GraphExModel>, store: Arc<KvStore>, config: NrtConfig) -> Self {
+        Self::start_with_watch(ModelWatch::fixed(Engine::new(model)), store, config)
+    }
+
+    /// Starts the worker thread over a registry watch: the worker
+    /// re-resolves the model at every window boundary, so a republished
+    /// snapshot takes effect mid-stream (each window is scored by exactly
+    /// one snapshot).
+    pub fn start_with_watch(watch: ModelWatch, store: Arc<KvStore>, config: NrtConfig) -> Self {
         let (sender, receiver) = crossbeam::channel::unbounded::<ItemEvent>();
         let received = Arc::new(AtomicU64::new(0));
         let scored = Arc::new(AtomicU64::new(0));
         let deduped = Arc::new(AtomicU64::new(0));
+        let snapshot_version = Arc::new(AtomicU64::new(watch.version()));
+        let model_swaps = Arc::new(AtomicU64::new(0));
 
         let worker = {
             let (scored, deduped) = (scored.clone(), deduped.clone());
+            let (snapshot_version, model_swaps) = (snapshot_version.clone(), model_swaps.clone());
             std::thread::spawn(move || {
                 let mut scratch = Scratch::new();
+                let mut last_version = watch.version();
                 // item id → latest (title, leaf) inside the current window
                 let mut window: FxHashMap<u32, (String, LeafId)> = FxHashMap::default();
                 loop {
@@ -111,6 +131,16 @@ impl NrtService {
                             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
                         }
                     }
+                    // Resolve the model once per window: the held `Arc`
+                    // pins one snapshot for the whole window even if a
+                    // publish lands mid-way.
+                    let active = watch.current();
+                    if active.version != last_version {
+                        model_swaps.fetch_add(1, Ordering::Relaxed);
+                        snapshot_version.store(active.version, Ordering::Relaxed);
+                        last_version = active.version;
+                    }
+                    let model = active.engine.model();
                     // Deterministic processing order within the window.
                     let mut batch: Vec<(u32, String, LeafId)> =
                         window.drain().map(|(id, (t, l))| (id, t, l)).collect();
@@ -130,7 +160,15 @@ impl NrtService {
             })
         };
 
-        Self { sender: Some(sender), worker: Some(worker), received, scored, deduped }
+        Self {
+            sender: Some(sender),
+            worker: Some(worker),
+            received,
+            scored,
+            deduped,
+            snapshot_version,
+            model_swaps,
+        }
     }
 
     /// Enqueues an event (non-blocking).
@@ -152,6 +190,8 @@ impl NrtService {
             events_received: self.received.load(Ordering::Relaxed),
             items_scored: self.scored.load(Ordering::Relaxed),
             deduplicated: self.deduped.load(Ordering::Relaxed),
+            snapshot_version: self.snapshot_version.load(Ordering::Relaxed),
+            model_swaps: self.model_swaps.load(Ordering::Relaxed),
         }
     }
 }
@@ -255,6 +295,15 @@ mod tests {
         let store = Arc::new(KvStore::new());
         let service = NrtService::start(model(), store, NrtConfig::default());
         let stats = service.shutdown();
-        assert_eq!(stats, NrtStats { events_received: 0, items_scored: 0, deduplicated: 0 });
+        assert_eq!(
+            stats,
+            NrtStats {
+                events_received: 0,
+                items_scored: 0,
+                deduplicated: 0,
+                snapshot_version: 0,
+                model_swaps: 0,
+            }
+        );
     }
 }

@@ -1,43 +1,114 @@
 //! Offline API-subset shim of the `bytes` crate: [`Bytes`], [`BytesMut`],
 //! and the little-endian [`Buf`]/[`BufMut`] accessors the model
-//! serializer uses. Backed by plain `Vec<u8>` — no refcounted slices.
+//! serializer uses.
+//!
+//! Unlike the first revision of this shim (a plain `Vec<u8>` wrapper),
+//! [`Bytes`] is now a **refcounted view** — an `Arc` over an arbitrary
+//! byte owner plus a sub-range — so cloning and [`Bytes::slice`] are O(1)
+//! and share one allocation. That is the property the zero-copy `GEXM v2`
+//! model loader rests on: every CSR/label/score section of a loaded
+//! snapshot is a `Bytes` slice into the single load buffer.
+//!
+//! [`Bytes::from_owner`] mirrors the real crate's `Bytes::from_owner`
+//! (bytes ≥ 1.9): any `AsRef<[u8]> + Send + Sync` owner can back a
+//! `Bytes`, which is how `graphex-core` keeps its 8-byte-aligned load
+//! buffer alive underneath the borrowed sections (and how an mmap'd
+//! region would plug in without touching this crate).
 
-use std::ops::{Deref, DerefMut};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
 
-/// Immutable byte buffer (here: an owned `Vec<u8>` behind `Deref<[u8]>`).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct Bytes(Vec<u8>);
+/// Immutable, refcounted byte buffer view: `Arc<owner>` + a sub-range.
+#[derive(Clone)]
+pub struct Bytes {
+    owner: Arc<dyn AsRef<[u8]> + Send + Sync>,
+    start: usize,
+    end: usize,
+}
 
 impl Bytes {
+    /// An empty buffer (no allocation shared, zero length).
     pub fn new() -> Self {
-        Self(Vec::new())
+        Self::from_vec(Vec::new())
     }
 
+    /// Takes ownership of a `Vec<u8>`.
     pub fn from_vec(v: Vec<u8>) -> Self {
-        Self(v)
+        Self::from_owner(v)
     }
 
+    /// Wraps any byte owner; the `Bytes` (and every slice of it) keeps the
+    /// owner alive. This is the real crate's `Bytes::from_owner`.
+    pub fn from_owner<T: AsRef<[u8]> + Send + Sync + 'static>(owner: T) -> Self {
+        let len = owner.as_ref().len();
+        Self { owner: Arc::new(owner), start: 0, end: len }
+    }
+
+    /// Copies the viewed range into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.0.clone()
+        self.as_slice().to_vec()
+    }
+
+    /// A sub-view sharing this buffer's owner. O(1); panics if the range
+    /// is out of bounds or inverted (same contract as the real crate).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.end - self.start;
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(begin <= end, "slice start {begin} > end {end}");
+        assert!(end <= len, "slice end {end} out of bounds (len {len})");
+        Self { owner: Arc::clone(&self.owner), start: self.start + begin, end: self.start + end }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &(*self.owner).as_ref()[self.start..self.end]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Self(v)
+        Self::from_vec(v)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
     }
 }
 
@@ -55,7 +126,7 @@ impl BytesMut {
     }
 
     pub fn freeze(self) -> Bytes {
-        Bytes(self.0)
+        Bytes::from_vec(self.0)
     }
 }
 
@@ -195,5 +266,52 @@ mod tests {
     fn short_read_panics() {
         let mut cursor: &[u8] = &[1, 2];
         let _ = cursor.get_u32_le();
+    }
+
+    #[test]
+    fn slices_share_the_owner() {
+        let bytes = Bytes::from_vec((0u8..32).collect());
+        let head = bytes.slice(0..8);
+        let mid = bytes.slice(8..24);
+        let nested = mid.slice(4..8);
+        assert_eq!(&head[..], &(0u8..8).collect::<Vec<_>>()[..]);
+        assert_eq!(&nested[..], &[12, 13, 14, 15]);
+        // Same backing allocation: pointer arithmetic lines up.
+        let base = bytes.as_ptr() as usize;
+        assert_eq!(head.as_ptr() as usize, base);
+        assert_eq!(mid.as_ptr() as usize, base + 8);
+        assert_eq!(nested.as_ptr() as usize, base + 12);
+        // Dropping the root keeps slices alive (refcount, not borrow).
+        drop(bytes);
+        assert_eq!(nested.len(), 4);
+    }
+
+    #[test]
+    fn from_owner_keeps_custom_owner_alive() {
+        struct Owner(Vec<u8>);
+        impl AsRef<[u8]> for Owner {
+            fn as_ref(&self) -> &[u8] {
+                &self.0
+            }
+        }
+        let b = Bytes::from_owner(Owner(vec![9, 8, 7]));
+        let tail = b.slice(1..);
+        drop(b);
+        assert_eq!(&tail[..], &[8, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::from_vec(vec![1, 2, 3]);
+        let _ = b.slice(0..4);
+    }
+
+    #[test]
+    fn equality_and_empty() {
+        assert_eq!(Bytes::from_vec(vec![1, 2]), Bytes::from_vec(vec![1, 2]));
+        assert_ne!(Bytes::from_vec(vec![1]), Bytes::from_vec(vec![2]));
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::default().to_vec(), Vec::<u8>::new());
     }
 }
