@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test doc clippy bench-smoke bench bench-snapshot ci
+.PHONY: build test doc clippy bench-smoke bench bench-snapshot serve-smoke bench-http ci
 
 # Tier-1 gate, part 1.
 build:
@@ -29,6 +29,20 @@ bench-smoke:
 # each (no timing). Real numbers land in BENCH_model_store.json.
 bench-snapshot:
 	$(CARGO) bench -p graphex-bench --bench snapshot_lifecycle -- --test
+
+# Network-frontend smoke: boot `graphex serve --smoke` on an ephemeral
+# port, hit all four endpoints plus malformed-request probes, shut down
+# gracefully. Exits non-zero on any failed probe.
+serve-smoke:
+	$(CARGO) run --release -p graphex-cli --bin graphex -- serve --smoke
+
+# HTTP frontend loadgen: replay marketsim serving traffic over loopback
+# with one live hot-swap mid-run; fails on any non-200 response. Records
+# the BENCH_http_frontend.json datapoint.
+bench-http:
+	$(CARGO) run --release -p graphex-bench --bin loadgen -- \
+	  --requests 4000 --connections 4 --scale cat1 \
+	  --output BENCH_http_frontend.json --date $$(date +%Y-%m-%d)
 
 # The real (wall-clock) bench suite.
 bench:

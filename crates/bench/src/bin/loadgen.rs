@@ -1,0 +1,286 @@
+//! `loadgen` — replay marketsim serving traffic against a release-built
+//! `graphex-server` over loopback, with one live model hot-swap mid-run.
+//!
+//! This is the acceptance harness for the network frontend: C keep-alive
+//! client connections fire `POST /v1/infer` envelopes built from the
+//! simulated marketplace's items, a second snapshot is published while
+//! traffic is in flight, and the run **fails** (exit 1) on any non-200
+//! response or if no hot swap was observed. On success it prints (and
+//! with `--output`, writes) the `BENCH_http_frontend.json` datapoint:
+//! latency percentiles, throughput, and the server-side counters.
+//!
+//! ```text
+//! cargo run --release -p graphex-bench --bin loadgen -- \
+//!     [--requests 4000] [--connections 4] [--scale cat1|cat2|cat3|tiny] \
+//!     [--output BENCH_http_frontend.json] [--date YYYY-MM-DD]
+//! ```
+
+use graphex_bench::experiments::{build_graphex, default_threshold};
+use graphex_marketsim::{CategoryDataset, CategorySpec};
+use graphex_serving::{KvStore, ModelRegistry, ServingApi};
+use graphex_server::{HttpClient, Json, ServerConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    requests: u64,
+    connections: usize,
+    scale: String,
+    output: Option<String>,
+    date: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        requests: 4000,
+        connections: 4,
+        scale: "cat1".into(),
+        output: None,
+        date: "unrecorded".into(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = argv.get(i + 1).ok_or_else(|| format!("{} needs a value", argv[i]))?;
+        match argv[i].as_str() {
+            "--requests" => args.requests = value.parse().map_err(|_| "bad --requests")?,
+            "--connections" => args.connections = value.parse().map_err(|_| "bad --connections")?,
+            "--scale" => args.scale = value.clone(),
+            "--output" => args.output = Some(value.clone()),
+            "--date" => args.date = value.clone(),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    args.connections = args.connections.clamp(1, 64);
+    args.requests = args.requests.max(args.connections as u64);
+    Ok(args)
+}
+
+fn spec_for(scale: &str) -> Result<CategorySpec, String> {
+    match scale {
+        "cat1" => Ok(CategorySpec::cat1()),
+        "cat2" => Ok(CategorySpec::cat2()),
+        "cat3" => Ok(CategorySpec::cat3()),
+        "tiny" => Ok(CategorySpec::tiny(7)),
+        other => Err(format!("unknown scale {other:?} (cat1|cat2|cat3|tiny)")),
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+    match run(&args) {
+        Ok(report) => {
+            println!("{report}");
+            if let Some(path) = &args.output {
+                if let Err(e) = std::fs::write(path, format!("{report}\n")) {
+                    eprintln!("loadgen: write {path}: {e}");
+                    std::process::exit(2);
+                }
+                eprintln!("recorded {path}");
+            }
+        }
+        Err(e) => {
+            eprintln!("loadgen FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<String, String> {
+    eprintln!("generating {} dataset + model ...", args.scale);
+    let ds = CategoryDataset::generate(spec_for(&args.scale)?);
+    let model = build_graphex(&ds, default_threshold(&ds));
+
+    // Serve through the full registry → watch → api → HTTP stack, so a
+    // publish mid-run is a real hot swap under live traffic.
+    let root = std::env::temp_dir().join(format!("graphex-loadgen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let registry = Arc::new(ModelRegistry::open(&root).map_err(|e| e.to_string())?);
+    registry.publish(&model, "loadgen v1").map_err(|e| e.to_string())?;
+    let api = Arc::new(ServingApi::with_watch(
+        registry.watch().map_err(|e| e.to_string())?,
+        Arc::new(KvStore::new()),
+        10,
+    ));
+    let server = graphex_server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: args.connections,
+            queue_depth: 256,
+            max_body_bytes: 1 << 20,
+            deadline: Some(Duration::from_secs(10)),
+            keep_alive_timeout: Duration::from_secs(10),
+        },
+        Arc::clone(&api),
+    )
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.addr();
+    eprintln!(
+        "replaying {} requests over {} connections against http://{addr}",
+        args.requests, args.connections
+    );
+
+    // Request pool: item titles + leaves, ids overlapping across
+    // connections so the store-hit path is exercised alongside
+    // read-through (the production mix).
+    let pool: Vec<(String, u32, u64)> = ds
+        .test_items(512, 0xBEEF)
+        .iter()
+        .enumerate()
+        .map(|(i, item)| (item.title.clone(), item.leaf.0, i as u64))
+        .collect();
+    if pool.is_empty() {
+        return Err("dataset produced no test items".into());
+    }
+
+    let completed = Arc::new(AtomicU64::new(0));
+    let finished_threads = Arc::new(AtomicU64::new(0));
+    let per_connection = args.requests / args.connections as u64;
+    let started = Instant::now();
+
+    let clients: Vec<_> = (0..args.connections)
+        .map(|c| {
+            let pool = pool.clone();
+            let completed = Arc::clone(&completed);
+            let finished_threads = Arc::clone(&finished_threads);
+            std::thread::spawn(move || -> Result<Vec<Duration>, String> {
+                let run = || -> Result<Vec<Duration>, String> {
+                    let mut client =
+                        HttpClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                    let mut latencies = Vec::with_capacity(per_connection as usize);
+                    for r in 0..per_connection {
+                        let (title, leaf, id) =
+                            &pool[((c as u64 + r * 7) % pool.len() as u64) as usize];
+                        let body = Json::obj(vec![
+                            ("title", Json::str(title.clone())),
+                            ("leaf", Json::uint(u64::from(*leaf))),
+                            ("k", Json::uint(10)),
+                            ("id", Json::uint(*id)),
+                        ])
+                        .render();
+                        let sent = Instant::now();
+                        let response = client
+                            .post_json("/v1/infer", &body)
+                            .map_err(|e| format!("connection {c} request {r}: {e}"))?;
+                        latencies.push(sent.elapsed());
+                        if response.status != 200 {
+                            return Err(format!(
+                                "connection {c} request {r}: HTTP {} — {}",
+                                response.status,
+                                response.text()
+                            ));
+                        }
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(latencies)
+                };
+                // Count the thread as finished on *every* exit path, so
+                // the swap-trigger wait below can never spin forever when
+                // a connection errors out before the halfway mark.
+                let result = run();
+                finished_threads.fetch_add(1, Ordering::Relaxed);
+                result
+            })
+        })
+        .collect();
+
+    // Hot swap once half the traffic has landed — or bail out of the
+    // wait if the clients are done (e.g. failed early); the join below
+    // then reports their error instead of this loop hanging.
+    let swap_at = args.requests / 2;
+    while completed.load(Ordering::Relaxed) < swap_at
+        && finished_threads.load(Ordering::Relaxed) < args.connections as u64
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let swap_started = Instant::now();
+    registry.publish(&model, "loadgen v2 (mid-run hot swap)").map_err(|e| e.to_string())?;
+    let swap_elapsed = swap_started.elapsed();
+    eprintln!(
+        "hot-swapped to snapshot 2 after {} requests ({:.1?} publish+admission)",
+        completed.load(Ordering::Relaxed),
+        swap_elapsed
+    );
+
+    let mut latencies: Vec<Duration> = Vec::with_capacity(args.requests as usize);
+    for client in clients {
+        latencies.extend(client.join().map_err(|_| "client thread panicked".to_string())??);
+    }
+    let elapsed = started.elapsed();
+    let stats = api.stats();
+    let errors_5xx = server.metrics().server_errors();
+    server.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+
+    // The acceptance gate: every request succeeded and a swap happened
+    // under load (client errors already failed fast above).
+    if errors_5xx > 0 {
+        return Err(format!("{errors_5xx} responses were 5xx"));
+    }
+    if stats.model_swaps < 1 {
+        return Err("no hot swap observed".into());
+    }
+
+    latencies.sort_unstable();
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    let total = latencies.len() as u64;
+    let throughput = total as f64 / elapsed.as_secs_f64();
+    let report = format!(
+        r#"{{
+  "bench": "http_frontend",
+  "description": "loadgen replay of marketsim serving traffic against a release-built graphex-server over loopback: keep-alive connections, POST /v1/infer envelopes, one live registry hot-swap at the halfway mark. Gate: zero non-200 responses.",
+  "date": "{date}",
+  "machine": {{
+    "os": "{os}",
+    "cpus_available": {cpus},
+    "note": "loopback-only; on a 1-CPU container client and server threads share the core, so latency percentiles are upper bounds and thread scaling must be re-measured on real hardware."
+  }},
+  "config": {{
+    "dataset": "{scale}",
+    "requests": {total},
+    "connections": {connections},
+    "workers": {connections},
+    "queue_depth": 256,
+    "k": 10,
+    "profile": "{profile}"
+  }},
+  "results": {{
+    "elapsed": "{elapsed:.3?}",
+    "throughput_per_s": {throughput:.0},
+    "latency_p50": "{p50:.3?}",
+    "latency_p95": "{p95:.3?}",
+    "latency_p99": "{p99:.3?}",
+    "latency_max": "{max:.3?}",
+    "hot_swaps_under_load": {swaps},
+    "swap_publish_elapsed": "{swap_elapsed:.3?}",
+    "responses_5xx": 0,
+    "store_hits": {store_hits},
+    "read_throughs": {read_throughs},
+    "coalesced": {coalesced}
+  }}
+}}"#,
+        date = args.date,
+        os = std::env::consts::OS,
+        cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        scale = args.scale,
+        connections = args.connections,
+        profile = if cfg!(debug_assertions) { "debug" } else { "release" },
+        p50 = pct(0.50),
+        p95 = pct(0.95),
+        p99 = pct(0.99),
+        max = latencies[latencies.len() - 1],
+        swaps = stats.model_swaps,
+        store_hits = stats.store_hits,
+        read_throughs = stats.read_throughs,
+        coalesced = stats.coalesced,
+    );
+    Ok(report)
+}

@@ -12,7 +12,8 @@ pub struct ParsedArgs {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["no-stemming", "no-fallback", "stdin", "outcome"];
+const SWITCHES: &[&str] =
+    &["no-stemming", "no-fallback", "stdin", "outcome", "invalidate-on-swap", "smoke"];
 
 impl ParsedArgs {
     pub fn parse(argv: &[String]) -> Result<Self, String> {

@@ -6,6 +6,7 @@ pub mod diff;
 pub mod explain;
 pub mod infer;
 pub mod model;
+pub mod serve;
 pub mod simulate;
 pub mod stats;
 

@@ -1,0 +1,196 @@
+//! `graphex serve` — boot the HTTP/1.1 network frontend over a model
+//! file (`--model`, fixed snapshot) or a registry root (`--root`,
+//! hot-swap: the server polls `CURRENT` and activates republished
+//! snapshots under live traffic, so `graphex model publish`/`rollback`
+//! from another process propagates without restart).
+//!
+//! `--smoke` boots on an ephemeral port with a built-in demo model, runs
+//! a client against all four endpoints (including malformed-request
+//! probes), shuts down gracefully, and reports — the self-contained CI
+//! gate behind `make serve-smoke`.
+
+use crate::args::ParsedArgs;
+use graphex_core::{Engine, GraphExBuilder, GraphExConfig, KeyphraseRecord, LeafId};
+use graphex_serving::{KvStore, ModelRegistry, ModelWatch, ServingApi, SwapPolicy};
+use graphex_server::{HttpClient, ServerConfig};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+pub fn run(args: &ParsedArgs) -> Result<String, String> {
+    if args.switch("smoke") {
+        return smoke();
+    }
+
+    let config = config_from(args)?;
+    let default_k = args.get_num::<usize>("k", 10)?;
+    let policy = if args.switch("invalidate-on-swap") {
+        SwapPolicy::Invalidate
+    } else {
+        SwapPolicy::Serve
+    };
+
+    let (watch, registry) = match (args.get("model"), args.get("root")) {
+        (Some(_), Some(_)) => return Err("pass --model or --root, not both".into()),
+        (Some(path), None) => {
+            let model = graphex_core::serialize::load_from(path)
+                .map_err(|e| format!("load {path}: {e}"))?;
+            (ModelWatch::fixed(Engine::from_model(model)), None)
+        }
+        (None, Some(root)) => {
+            let registry =
+                Arc::new(ModelRegistry::open(root).map_err(|e| format!("open {root}: {e}"))?);
+            let watch = registry
+                .watch()
+                .map_err(|e| format!("registry {root} holds no servable snapshot: {e}"))?;
+            (watch, Some(registry))
+        }
+        (None, None) => return Err("missing --model <file> or --root <dir>".into()),
+    };
+
+    let api = Arc::new(
+        ServingApi::with_watch(watch, Arc::new(KvStore::new()), default_k).swap_policy(policy),
+    );
+    let server = graphex_server::start(config, Arc::clone(&api))
+        .map_err(|e| format!("bind {}: {e}", args.get("addr").unwrap_or("127.0.0.1:7878")))?;
+    println!(
+        "graphex-server listening on http://{} (snapshot_version {})",
+        server.addr(),
+        api.stats().snapshot_version
+    );
+    println!("endpoints: POST /v1/infer  GET /healthz  GET /statusz  GET /metrics");
+
+    // Registry mode: poll CURRENT so cross-process publishes/rollbacks
+    // hot-swap this server. The poll thread is the process's only
+    // activation driver; the watch inside the api observes each swap.
+    if let Some(registry) = registry {
+        let poll = Duration::from_millis(args.get_num::<u64>("poll-ms", 2000)?.max(100));
+        loop {
+            std::thread::sleep(poll);
+            let pinned = registry.pinned_version();
+            if pinned != registry.current_version() {
+                if let Some(version) = pinned {
+                    match registry.activate(version) {
+                        Ok(_) => println!("hot-swapped to snapshot_version {version}"),
+                        Err(e) => eprintln!("activation of {version} failed: {e} (still serving)"),
+                    }
+                }
+            }
+        }
+    }
+    // Fixed-model mode: serve until the process is killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn config_from(args: &ParsedArgs) -> Result<ServerConfig, String> {
+    let deadline_ms = args.get_num::<u64>("deadline-ms", 2000)?;
+    Ok(ServerConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        workers: args.get_num::<usize>("workers", 4)?.max(1),
+        queue_depth: args.get_num::<usize>("queue", 64)?.max(1),
+        max_body_bytes: args.get_num::<usize>("max-body", 1 << 20)?,
+        deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+        keep_alive_timeout: Duration::from_secs(5),
+    })
+}
+
+/// A small servable model for the smoke check (no files needed).
+fn demo_api() -> Result<Arc<ServingApi>, String> {
+    let mut config = GraphExConfig::default();
+    config.curation.min_search_count = 0;
+    let model = GraphExBuilder::new(config)
+        .add_records((0..8u32).map(|i| {
+            KeyphraseRecord::new(format!("acme widget model{i}"), LeafId(i % 2), 50 + i, 5)
+        }))
+        .build()
+        .map_err(|e| format!("demo model: {e}"))?;
+    Ok(Arc::new(ServingApi::new(Arc::new(model), Arc::new(KvStore::new()), 10)))
+}
+
+/// Boot → probe all endpoints → graceful shutdown. Any failed probe is a
+/// hard error (non-zero exit through `dispatch`).
+fn smoke() -> Result<String, String> {
+    let api = demo_api()?;
+    let config = ServerConfig { addr: "127.0.0.1:0".into(), ..Default::default() };
+    let server = graphex_server::start(config, api).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.addr();
+    let mut out = String::new();
+    let _ = writeln!(out, "smoke server on http://{addr}");
+
+    let result = smoke_probes(addr, &mut out);
+    server.shutdown();
+    let _ = writeln!(out, "graceful shutdown: ok");
+    result.map(|()| {
+        let _ = writeln!(out, "serve smoke: all probes passed");
+        out
+    })
+}
+
+fn smoke_probes(addr: std::net::SocketAddr, out: &mut String) -> Result<(), String> {
+    let io = |e: std::io::Error| format!("smoke client: {e}");
+    let mut client = HttpClient::connect(addr).map_err(io)?;
+
+    let health = client.get("/healthz").map_err(io)?;
+    expect(out, "GET /healthz", health.status, 200)?;
+
+    let single = client
+        .post_json("/v1/infer", r#"{"title":"acme widget model3","leaf":1,"k":5,"id":42}"#)
+        .map_err(io)?;
+    expect(out, "POST /v1/infer (single)", single.status, 200)?;
+    let body = graphex_server::json::parse(&single.text())
+        .map_err(|e| format!("infer response is not JSON: {e}"))?;
+    match body.get("keyphrases").and_then(|k| k.as_arr()) {
+        Some(keyphrases) if !keyphrases.is_empty() => {}
+        _ => return Err(format!("infer returned no keyphrases: {}", single.text())),
+    }
+
+    let batch = client
+        .post_json(
+            "/v1/infer",
+            r#"{"requests":[{"title":"acme widget model0","leaf":0},{"title":"acme widget model1","leaf":1}]}"#,
+        )
+        .map_err(io)?;
+    expect(out, "POST /v1/infer (batch)", batch.status, 200)?;
+
+    let status = client.get("/statusz").map_err(io)?;
+    expect(out, "GET /statusz", status.status, 200)?;
+    let stats = graphex_server::json::parse(&status.text())
+        .map_err(|e| format!("statusz is not JSON: {e}"))?;
+    for key in ["snapshot_version", "in_flight", "shed", "deadline_exceeded"] {
+        if stats.get(key).and_then(|v| v.as_u64()).is_none() {
+            return Err(format!("statusz missing {key:?}: {}", status.text()));
+        }
+    }
+
+    let metrics = client.get("/metrics").map_err(io)?;
+    expect(out, "GET /metrics", metrics.status, 200)?;
+    if !metrics.text().contains("graphex_http_requests_total") {
+        return Err("metrics missing graphex_http_requests_total".into());
+    }
+
+    // Malformed traffic must map to 4xx, not a hang or panic. Each probe
+    // uses a fresh connection (the server closes after an error).
+    for (label, expected, probe) in [
+        ("bad JSON", 400, ("/v1/infer", Some("not json"))),
+        ("unknown path", 404, ("/nope", None)),
+        ("wrong method", 405, ("/healthz", Some("{}"))),
+    ] {
+        let mut c = HttpClient::connect(addr).map_err(io)?;
+        let response = match probe {
+            (path, Some(body)) => c.post_json(path, body).map_err(io)?,
+            (path, None) => c.get(path).map_err(io)?,
+        };
+        expect(out, label, response.status, expected)?;
+    }
+    Ok(())
+}
+
+fn expect(out: &mut String, what: &str, got: u16, want: u16) -> Result<(), String> {
+    if got != want {
+        return Err(format!("{what}: expected HTTP {want}, got {got}"));
+    }
+    let _ = writeln!(out, "{what}: {got} ok");
+    Ok(())
+}

@@ -1,10 +1,16 @@
 //! `graphex stats` — model inventory: global stats plus a per-leaf table.
+//! With `--server <addr>` it instead queries a running `graphex serve`
+//! frontend's `/statusz` and renders the live serving counters, including
+//! the admission-control gauges (shed / deadline-exceeded / in-flight).
 
 use super::load_model;
 use crate::args::ParsedArgs;
 use std::fmt::Write as _;
 
 pub fn run(args: &ParsedArgs) -> Result<String, String> {
+    if let Some(addr) = args.get("server") {
+        return server_stats(addr);
+    }
     let model = load_model(args)?;
     let stats = model.stats();
     let mut out = String::new();
@@ -32,6 +38,63 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
         model.size_bytes()
     );
 
+    render_leaf_table(&model, &mut out);
+    Ok(out)
+}
+
+/// Live serving counters from a running frontend's `/statusz`.
+fn server_stats(addr: &str) -> Result<String, String> {
+    let mut client = graphex_server::HttpClient::connect(addr)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let response = client.get("/statusz").map_err(|e| format!("GET /statusz: {e}"))?;
+    if response.status != 200 {
+        return Err(format!("GET /statusz: HTTP {}", response.status));
+    }
+    let stats = graphex_server::json::parse(&response.text())
+        .map_err(|e| format!("statusz payload: {e}"))?;
+    let num = |key: &str| stats.get(key).and_then(|v| v.as_u64()).unwrap_or(0);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "server: http://{addr}");
+    let _ = writeln!(
+        out,
+        "model: snapshot_version {}  swaps {}",
+        num("snapshot_version"),
+        num("model_swaps")
+    );
+    let _ = writeln!(
+        out,
+        "admission: in-flight {}  shed {}  deadline-exceeded {}  queue depth {}",
+        num("in_flight"),
+        num("shed"),
+        num("deadline_exceeded"),
+        num("queue_depth")
+    );
+    let _ = writeln!(
+        out,
+        "serving: store hits {}  read-throughs {}  coalesced {}  direct {}  unservable {}  invalidated {}",
+        num("store_hits"),
+        num("read_throughs"),
+        num("coalesced"),
+        num("direct"),
+        num("unservable"),
+        num("invalidated")
+    );
+    if let Some(outcomes) = stats.get("outcomes") {
+        let of = |key: &str| outcomes.get(key).and_then(|v| v.as_u64()).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "outcomes: exact_leaf {}  meta_fallback {}  unknown_leaf {}  empty {}",
+            of("exact_leaf"),
+            of("meta_fallback"),
+            of("unknown_leaf"),
+            of("empty")
+        );
+    }
+    Ok(out)
+}
+
+fn render_leaf_table(model: &graphex_core::GraphExModel, out: &mut String) {
     let mut leaves: Vec<_> = model.leaf_ids().collect();
     leaves.sort_unstable();
     let _ = writeln!(out, "\n{:>10} {:>8} {:>8} {:>8} {:>10}", "leaf", "words", "labels", "edges", "avg deg");
@@ -47,5 +110,4 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
             g.avg_degree(),
         );
     }
-    Ok(out)
 }

@@ -18,7 +18,7 @@ pub fn usage() -> &'static str {
   graphex infer    --model <model.gexm> --leaf <id> (--title <text> | --stdin)
                    [--k N] [--alignment <lta|wmr|jac>] [--outcome]
   graphex explain  --model <model.gexm> --leaf <id> --title <text> [--k N]
-  graphex stats    --model <model.gexm>
+  graphex stats    (--model <model.gexm> | --server <host:port>)
   graphex diff     --old <a.gexm> --new <b.gexm> [--max-listed N]
   graphex model    publish  --root <dir> --input <model.gexm> [--note <text>]
   graphex model    list     --root <dir>
@@ -26,6 +26,10 @@ pub fn usage() -> &'static str {
   graphex model    inspect  (--root <dir> [--version N] | --model <file>)
   graphex model    verify   (--root <dir> [--version N] | --model <file>)
   graphex model    gc       --root <dir> [--keep N]
+  graphex serve    (--model <model.gexm> | --root <dir>) [--addr host:port]
+                   [--workers N] [--queue N] [--k N] [--deadline-ms N]
+                   [--max-body BYTES] [--poll-ms N] [--invalidate-on-swap]
+                   [--smoke]
 
 record TSV line: text<TAB>leaf_id<TAB>search_count<TAB>recall_count"
 }
@@ -44,6 +48,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "infer" => commands::infer::run(&parsed),
         "explain" => commands::explain::run(&parsed),
         "stats" => commands::stats::run(&parsed),
+        "serve" => commands::serve::run(&parsed),
         "diff" => commands::diff::run(&parsed),
         "help" | "--help" | "-h" => Ok(format!("{}\n", usage())),
         other => Err(format!("unknown command {other:?}")),

@@ -1,0 +1,154 @@
+//! Minimal blocking HTTP/1.1 client for loopback tooling: the smoke
+//! check, the loadgen bench, `graphex stats --server`, and the suite's
+//! integration tests. Keep-alive by default; one in-flight request per
+//! connection (no pipelining).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// One persistent connection to a server.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    host: String,
+}
+
+impl HttpClient {
+    /// Connects with a timeout on connect, read, and write.
+    pub fn connect(addr: impl ToSocketAddrs + std::fmt::Display) -> std::io::Result<Self> {
+        let host = addr.to_string();
+        let resolved = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "no address"))?;
+        let stream = TcpStream::connect_timeout(&resolved, Duration::from_secs(5))?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { reader, writer: stream, host })
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<Response> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post_json(&mut self, path: &str, body: &str) -> std::io::Result<Response> {
+        self.request("POST", path, Some(body.as_bytes()))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<Response> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n", self.host);
+        if let Some(body) = body {
+            head.push_str("Content-Type: application/json\r\n");
+            head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        head.push_str("\r\n");
+        self.writer.write_all(head.as_bytes())?;
+        if let Some(body) = body {
+            self.writer.write_all(body)?;
+        }
+        self.writer.flush()?;
+        read_response(&mut self.reader)
+    }
+}
+
+fn bad(what: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string())
+}
+
+fn read_response<S: BufRead>(stream: &mut S) -> std::io::Result<Response> {
+    let mut status_line = String::new();
+    if stream.read_line(&mut status_line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed before responding",
+        ));
+    }
+    let mut parts = status_line.trim_end().splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("not an HTTP/1.x response"));
+    }
+    let status: u16 =
+        parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("bad status code"))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if stream.read_line(&mut line)? == 0 {
+            return Err(bad("truncated headers"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_string(), value.trim().to_string()));
+        }
+    }
+
+    let content_length: usize = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.parse().ok())
+        .ok_or_else(|| bad("response without content-length"))?;
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok(Response { status, headers, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_response_wire_format() {
+        let raw = "HTTP/1.1 429 Too Many Requests\r\nContent-Type: text/plain\r\nRetry-After: 1\r\nContent-Length: 5\r\n\r\nshed\n";
+        let response = read_response(&mut BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(response.status, 429);
+        assert_eq!(response.header("retry-after"), Some("1"));
+        assert_eq!(response.text(), "shed\n");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_response(&mut BufReader::new(&b"SPDY/9 lol\r\n\r\n"[..])).is_err());
+        assert!(read_response(&mut BufReader::new(&b""[..])).is_err());
+        assert!(
+            read_response(&mut BufReader::new(&b"HTTP/1.1 200 OK\r\n\r\n"[..])).is_err(),
+            "missing content-length"
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! HTTP/1.1 wire format over blocking sockets: request parsing with hard
+//! limits (header bytes, header count, body size) and response writing.
+//! Supports persistent connections (`keep-alive`) and `Content-Length`
+//! bodies; `Transfer-Encoding: chunked` is rejected as unsupported rather
+//! than mis-parsed. Every malformed input maps to a typed error — the
+//! caller turns those into 4xx responses; nothing here panics.
+
+use std::io::{BufRead, Write};
+
+/// Hard cap on request-line + header bytes (hostile clients can't make the
+/// server buffer unboundedly before the body limit even applies).
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Hard cap on header count.
+pub const MAX_HEADERS: usize = 64;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path only (query strings are split off into `query`).
+    pub path: String,
+    /// Raw query string (without `?`), if any.
+    pub query: Option<String>,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (first match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open after this
+    /// request (HTTP/1.1 default unless `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection cleanly before sending a request
+    /// (normal end of a keep-alive session).
+    Closed,
+    /// Socket error (including read timeouts on idle keep-alive
+    /// connections).
+    Io(std::io::Error),
+    /// Syntactically invalid request → 400.
+    Bad(&'static str),
+    /// Declared body larger than the configured cap → 413.
+    BodyTooLarge { declared: usize, max: usize },
+    /// `Transfer-Encoding` other than identity → 501.
+    UnsupportedTransferEncoding,
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Closed => write!(f, "connection closed"),
+            Self::Io(e) => write!(f, "socket error: {e}"),
+            Self::Bad(what) => write!(f, "malformed request: {what}"),
+            Self::BodyTooLarge { declared, max } => {
+                write!(f, "declared body of {declared} bytes exceeds cap of {max}")
+            }
+            Self::UnsupportedTransferEncoding => write!(f, "unsupported transfer encoding"),
+        }
+    }
+}
+
+/// Reads one request from a buffered stream. `max_body` caps the declared
+/// `Content-Length`.
+pub fn read_request<S: BufRead>(stream: &mut S, max_body: usize) -> Result<Request, ReadError> {
+    let mut header_bytes = 0usize;
+
+    let request_line = read_line(stream, &mut header_bytes)?;
+    if request_line.is_empty() {
+        return Err(ReadError::Bad("empty request line"));
+    }
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().ok_or(ReadError::Bad("missing request target"))?.to_string();
+    let version = parts.next().ok_or(ReadError::Bad("missing HTTP version"))?;
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Bad("malformed request line"));
+    }
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(ReadError::Bad("malformed method"));
+    }
+    if !target.starts_with('/') {
+        return Err(ReadError::Bad("request target must be absolute path"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target, None),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(stream, &mut header_bytes)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ReadError::Bad("too many headers"));
+        }
+        let (name, value) = line.split_once(':').ok_or(ReadError::Bad("header without ':'"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(ReadError::Bad("malformed header name"));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+
+    let mut request = Request { method, path, query, headers, body: Vec::new() };
+
+    if let Some(te) = request.header("transfer-encoding") {
+        if !te.eq_ignore_ascii_case("identity") {
+            return Err(ReadError::UnsupportedTransferEncoding);
+        }
+    }
+    let content_length = match request.header("content-length") {
+        None => 0,
+        Some(raw) => raw.parse::<usize>().map_err(|_| ReadError::Bad("bad content-length"))?,
+    };
+    if content_length > max_body {
+        return Err(ReadError::BodyTooLarge { declared: content_length, max: max_body });
+    }
+    if content_length > 0 {
+        let mut body = vec![0u8; content_length];
+        stream.read_exact(&mut body).map_err(ReadError::Io)?;
+        request.body = body;
+    }
+    Ok(request)
+}
+
+/// Reads one CRLF- (or LF-) terminated line, enforcing the header byte cap.
+fn read_line<S: BufRead>(stream: &mut S, consumed: &mut usize) -> Result<String, ReadError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() && *consumed == 0 {
+                    return Err(ReadError::Closed);
+                }
+                return Err(ReadError::Bad("unexpected end of headers"));
+            }
+            Ok(_) => {
+                *consumed += 1;
+                if *consumed > MAX_HEADER_BYTES {
+                    return Err(ReadError::Bad("headers too large"));
+                }
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map_err(|_| ReadError::Bad("non-UTF-8 header bytes"));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one response. `extra_headers` are written verbatim (e.g.
+/// `("Retry-After", "1")`). When `keep_alive` is false a
+/// `Connection: close` header is sent, telling the client not to reuse
+/// the connection.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    if !keep_alive {
+        head.push_str("Connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_get_and_post() {
+        let get = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!((get.method.as_str(), get.path.as_str()), ("GET", "/healthz"));
+        assert!(get.body.is_empty());
+        assert!(get.keep_alive());
+
+        let post = parse(
+            "POST /v1/infer?debug=1 HTTP/1.1\r\nContent-Length: 4\r\nConnection: close\r\n\r\nabcd",
+        )
+        .unwrap();
+        assert_eq!(post.path, "/v1/infer");
+        assert_eq!(post.query.as_deref(), Some("debug=1"));
+        assert_eq!(post.body, b"abcd");
+        assert!(!post.keep_alive());
+        assert_eq!(post.header("CONTENT-length"), Some("4"));
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        assert!(matches!(parse(""), Err(ReadError::Closed)));
+        assert!(matches!(parse("GARBAGE\r\n\r\n"), Err(ReadError::Bad(_))));
+        assert!(matches!(parse("GET noslash HTTP/1.1\r\n\r\n"), Err(ReadError::Bad(_))));
+        assert!(matches!(parse("GET / SPDY/3\r\n\r\n"), Err(ReadError::Bad(_))));
+        assert!(matches!(parse("GET / HTTP/1.1\r\nbad header\r\n\r\n"), Err(ReadError::Bad(_))));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(ReadError::Bad(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n"),
+            Err(ReadError::BodyTooLarge { declared: 9999, max: 1024 })
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(ReadError::UnsupportedTransferEncoding)
+        ));
+    }
+
+    #[test]
+    fn header_limits_are_enforced() {
+        let mut many = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..100 {
+            many.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        many.push_str("\r\n");
+        assert!(matches!(parse(&many), Err(ReadError::Bad(_))));
+
+        let huge = format!("GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n", "a".repeat(MAX_HEADER_BYTES));
+        assert!(matches!(parse(&huge), Err(ReadError::Bad(_))));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(&mut out, 429, "text/plain", b"shed", false, &[("Retry-After", "1")])
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Length: 4\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nshed"));
+    }
+}

@@ -1,0 +1,55 @@
+//! # server — the GraphEx network frontend
+//!
+//! The paper's production system (Sec. IV-H, Fig. 7) serves keyphrases to
+//! sellers through an inference API behind eBay's edge; until this crate
+//! the reproduction stopped at the library boundary. `graphex-server`
+//! puts the serving stack on a real socket: a **dependency-free
+//! HTTP/1.1 server** on `std::net::TcpListener` with a fixed worker
+//! pool, a bounded accept queue, and production edge behaviours as
+//! first-class citizens:
+//!
+//! * **Admission control** — a full accept queue sheds load with `429`
+//!   (plus a `ServeStats::shed` counter) instead of buffering until
+//!   collapse.
+//! * **Deadlines** — requests that outwait their budget answer `503`
+//!   without touching the model.
+//! * **Hot swap under traffic** — inference resolves the active model
+//!   snapshot per request through [`graphex_serving::ModelWatch`], so
+//!   registry publishes and rollbacks land with zero failed requests.
+//! * **Graceful shutdown** — stop accepting, drain admitted connections,
+//!   finish in-flight requests, join every thread.
+//!
+//! Endpoints: `POST /v1/infer` (single or batch JSON envelopes),
+//! `GET /healthz`, `GET /statusz` (counters as JSON), and `GET /metrics`
+//! (Prometheus text). The JSON codec ([`json`]) and the HTTP wire format
+//! ([`http`]) are hand-rolled minimal modules — the workspace is hermetic,
+//! so no serde/hyper — and [`client`] is the matching blocking client used
+//! by the smoke check, the loadgen bench, and `graphex stats --server`.
+//!
+//! ```no_run
+//! use graphex_serving::{KvStore, ServingApi};
+//! use std::sync::Arc;
+//!
+//! # fn demo(model: Arc<graphex_core::GraphExModel>) -> std::io::Result<()> {
+//! let api = Arc::new(ServingApi::new(model, Arc::new(KvStore::new()), 10));
+//! let server = graphex_server::start(
+//!     graphex_server::ServerConfig { addr: "127.0.0.1:0".into(), ..Default::default() },
+//!     api,
+//! )?;
+//! println!("serving on http://{}", server.addr());
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+
+pub use client::{HttpClient, Response};
+pub use json::Json;
+pub use metrics::{Endpoint, HttpMetrics, LatencyHistogram};
+pub use server::{start, ServerConfig, ServerHandle, MAX_BATCH};

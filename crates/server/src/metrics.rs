@@ -1,0 +1,242 @@
+//! Server-side observability: request/outcome counters, a fixed-bucket
+//! latency histogram, and the `/metrics` Prometheus text rendering.
+//!
+//! Everything is lock-free on the hot path except the per-response status
+//! tally (one short mutexed map update per request — noise next to an
+//! inference). The serving-layer counters (store hits, outcomes, shed,
+//! in-flight) live in [`graphex_serving::ServeStats`] and are merged in at
+//! render time, so `/metrics` and `/statusz` agree by construction.
+
+use graphex_serving::ServeStats;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// Histogram bucket upper bounds, in seconds (Prometheus `le` labels).
+/// Spans 100 µs (a warm store hit) to 1 s (pathological queueing).
+pub const BUCKET_BOUNDS: [f64; 11] =
+    [0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 1.0];
+
+/// Cumulative-style latency histogram (buckets are recorded sparse and
+/// accumulated at render time, like Prometheus expects).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS.len() + 1], // last = +Inf
+    sum_nanos: AtomicU64,
+    count: AtomicU64,
+}
+
+impl LatencyHistogram {
+    pub fn record(&self, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        let idx = BUCKET_BOUNDS.iter().position(|&b| secs <= b).unwrap_or(BUCKET_BOUNDS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn render(&self, name: &str, out: &mut String) {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, bound) in BUCKET_BOUNDS.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        cumulative += self.buckets[BUCKET_BOUNDS.len()].load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let sum = self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+        let _ = writeln!(out, "{name}_sum {sum}");
+        let _ = writeln!(out, "{name}_count {}", self.count.load(Ordering::Relaxed));
+    }
+}
+
+/// The endpoint label a response is tallied under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Endpoint {
+    Infer,
+    Healthz,
+    Statusz,
+    Metrics,
+    /// Unknown paths/methods (404/405/parse errors).
+    Other,
+}
+
+impl Endpoint {
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Infer => "infer",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Statusz => "statusz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Other => "other",
+        }
+    }
+}
+
+/// Mutable server metrics, shared across workers.
+#[derive(Debug, Default)]
+pub struct HttpMetrics {
+    /// (endpoint, status) → responses sent.
+    responses: Mutex<BTreeMap<(Endpoint, u16), u64>>,
+    /// End-to-end request latency (read complete → response written),
+    /// inference endpoints only.
+    pub infer_latency: LatencyHistogram,
+    /// Connections accepted (including ones later shed).
+    pub connections_accepted: AtomicU64,
+    /// Connections refused 429 at admission.
+    pub connections_shed: AtomicU64,
+}
+
+impl HttpMetrics {
+    pub fn record_response(&self, endpoint: Endpoint, status: u16) {
+        let mut map = self.responses.lock().unwrap_or_else(PoisonError::into_inner);
+        *map.entry((endpoint, status)).or_insert(0) += 1;
+    }
+
+    /// Total responses with a 5xx status (the "failed requests" gate).
+    pub fn server_errors(&self) -> u64 {
+        let map = self.responses.lock().unwrap_or_else(PoisonError::into_inner);
+        map.iter().filter(|((_, s), _)| (500..600).contains(s)).map(|(_, n)| n).sum()
+    }
+
+    /// Responses tallied for one (endpoint, status) pair.
+    pub fn responses_for(&self, endpoint: Endpoint, status: u16) -> u64 {
+        let map = self.responses.lock().unwrap_or_else(PoisonError::into_inner);
+        map.get(&(endpoint, status)).copied().unwrap_or(0)
+    }
+
+    /// Renders the Prometheus text exposition for `/metrics`: HTTP-layer
+    /// counters plus the serving-layer [`ServeStats`] passed in.
+    pub fn render_prometheus(&self, serve: &ServeStats, queue_depth: usize) -> String {
+        let mut out = String::with_capacity(2048);
+
+        let _ = writeln!(out, "# TYPE graphex_http_requests_total counter");
+        {
+            let map = self.responses.lock().unwrap_or_else(PoisonError::into_inner);
+            for ((endpoint, status), n) in map.iter() {
+                let _ = writeln!(
+                    out,
+                    "graphex_http_requests_total{{endpoint=\"{}\",code=\"{status}\"}} {n}",
+                    endpoint.label()
+                );
+            }
+        }
+        let _ = writeln!(out, "# TYPE graphex_http_connections_accepted_total counter");
+        let _ = writeln!(
+            out,
+            "graphex_http_connections_accepted_total {}",
+            self.connections_accepted.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "# TYPE graphex_http_shed_total counter");
+        let _ = writeln!(
+            out,
+            "graphex_http_shed_total {}",
+            self.connections_shed.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "# TYPE graphex_http_queue_depth gauge");
+        let _ = writeln!(out, "graphex_http_queue_depth {queue_depth}");
+
+        self.infer_latency.render("graphex_request_duration_seconds", &mut out);
+
+        // Serving-layer counters (same numbers /statusz reports).
+        let _ = writeln!(out, "# TYPE graphex_serve_source_total counter");
+        for (label, n) in [
+            ("store_hit", serve.store_hits),
+            ("read_through", serve.read_throughs),
+            ("coalesced", serve.coalesced),
+            ("direct", serve.direct),
+            ("unservable", serve.unservable),
+        ] {
+            let _ = writeln!(out, "graphex_serve_source_total{{source=\"{label}\"}} {n}");
+        }
+        let _ = writeln!(out, "# TYPE graphex_serve_outcome_total counter");
+        for outcome in graphex_core::Outcome::ALL {
+            let _ = writeln!(
+                out,
+                "graphex_serve_outcome_total{{outcome=\"{}\"}} {}",
+                outcome.name(),
+                serve.outcomes.of(outcome)
+            );
+        }
+        let _ = writeln!(out, "# TYPE graphex_serve_invalidated_total counter");
+        let _ = writeln!(out, "graphex_serve_invalidated_total {}", serve.invalidated);
+        let _ = writeln!(out, "# TYPE graphex_shed_total counter");
+        let _ = writeln!(out, "graphex_shed_total {}", serve.shed);
+        let _ = writeln!(out, "# TYPE graphex_deadline_exceeded_total counter");
+        let _ = writeln!(out, "graphex_deadline_exceeded_total {}", serve.deadline_exceeded);
+        let _ = writeln!(out, "# TYPE graphex_in_flight gauge");
+        let _ = writeln!(out, "graphex_in_flight {}", serve.in_flight);
+        let _ = writeln!(out, "# TYPE graphex_model_snapshot_version gauge");
+        let _ = writeln!(out, "graphex_model_snapshot_version {}", serve.snapshot_version);
+        let _ = writeln!(out, "# TYPE graphex_model_swaps_total counter");
+        let _ = writeln!(out, "graphex_model_swaps_total {}", serve.model_swaps);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_stats() -> ServeStats {
+        ServeStats {
+            store_hits: 3,
+            read_throughs: 2,
+            coalesced: 0,
+            direct: 0,
+            unservable: 1,
+            invalidated: 0,
+            shed: 4,
+            deadline_exceeded: 0,
+            in_flight: 2,
+            outcomes: Default::default(),
+            snapshot_version: 7,
+            model_swaps: 1,
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(50)); // first bucket
+        h.record(Duration::from_micros(300)); // <=0.0005
+        h.record(Duration::from_secs(5)); // +Inf
+        let mut out = String::new();
+        h.render("x", &mut out);
+        assert!(out.contains("x_bucket{le=\"0.0001\"} 1"), "{out}");
+        assert!(out.contains("x_bucket{le=\"0.0005\"} 2"), "{out}");
+        assert!(out.contains("x_bucket{le=\"1\"} 2"), "{out}");
+        assert!(out.contains("x_bucket{le=\"+Inf\"} 3"), "{out}");
+        assert!(out.contains("x_count 3"), "{out}");
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn prometheus_rendering_includes_all_families() {
+        let m = HttpMetrics::default();
+        m.record_response(Endpoint::Infer, 200);
+        m.record_response(Endpoint::Infer, 200);
+        m.record_response(Endpoint::Other, 404);
+        m.record_response(Endpoint::Infer, 503);
+        m.connections_accepted.fetch_add(5, Ordering::Relaxed);
+        m.connections_shed.fetch_add(1, Ordering::Relaxed);
+        let text = m.render_prometheus(&empty_stats(), 3);
+        assert!(text.contains("graphex_http_requests_total{endpoint=\"infer\",code=\"200\"} 2"));
+        assert!(text.contains("graphex_http_requests_total{endpoint=\"other\",code=\"404\"} 1"));
+        assert!(text.contains("graphex_http_shed_total 1"));
+        assert!(text.contains("graphex_http_queue_depth 3"));
+        assert!(text.contains("graphex_serve_source_total{source=\"store_hit\"} 3"));
+        assert!(text.contains("graphex_serve_outcome_total{outcome=\"exact_leaf\"} 0"));
+        assert!(text.contains("graphex_shed_total 4"));
+        assert!(text.contains("graphex_in_flight 2"));
+        assert!(text.contains("graphex_model_snapshot_version 7"));
+        assert_eq!(m.server_errors(), 1);
+        assert_eq!(m.responses_for(Endpoint::Infer, 503), 1);
+    }
+}

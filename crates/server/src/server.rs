@@ -1,0 +1,847 @@
+//! The network edge: a fixed worker pool over `std::net::TcpListener`.
+//!
+//! ```text
+//! clients ──► acceptor ──► Bounded accept queue ──► worker pool ──► ServingApi
+//!                │  full?                │ drained on shutdown
+//!                └─► HTTP 429 (shed)     └─► per-request deadline → 503
+//! ```
+//!
+//! One acceptor thread admits connections into a bounded queue; a full
+//! queue is **load shed** — the acceptor answers `429 Too Many Requests`
+//! and closes, so overload degrades into fast refusals instead of
+//! unbounded buffering or hangs. Workers pop connections and speak
+//! HTTP/1.1 keep-alive until the peer closes, errors, idles past the
+//! read timeout, or shutdown begins. Requests that waited past the
+//! configured deadline are answered `503` without running inference.
+//!
+//! The model behind the [`ServingApi`] hot-swaps under live traffic: each
+//! inference resolves the current snapshot through the api's `ModelWatch`,
+//! so a registry publish/rollback propagates to the next request with
+//! in-flight requests finishing on the model they started with.
+//!
+//! [`ServerHandle::shutdown`] is graceful: stop accepting, drain every
+//! admitted connection, answer in-flight requests, then join all threads.
+
+use crate::http::{self, ReadError, Request};
+use crate::json::{self, Json};
+use crate::metrics::{Endpoint, HttpMetrics};
+use crate::queue::Bounded;
+use graphex_core::{Alignment, InferRequest};
+use graphex_serving::{ServeSource, ServeStats, Served, ServingApi};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Most requests accepted in one `/v1/infer` batch envelope.
+pub const MAX_BATCH: usize = 1024;
+
+/// Requests served on one keep-alive connection before the server closes
+/// it (`Connection: close` on the last response). Thread-per-connection
+/// means a chatty peer pins a worker; this cap bounds that pinning so
+/// connections waiting in the accept queue are never starved forever —
+/// a reconnect immediately re-admits the peer.
+pub const MAX_KEEPALIVE_REQUESTS: u64 = 1024;
+
+/// Frontend tuning. `Default` is sized for a laptop demo; production
+/// callers set every field explicitly.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads (each owns one connection at a time).
+    pub workers: usize,
+    /// Accept-queue capacity; connections beyond it are shed with 429.
+    pub queue_depth: usize,
+    /// Cap on a request body's declared `Content-Length` (413 beyond it).
+    pub max_body_bytes: usize,
+    /// Per-request deadline over server-induced delay: accept-queue wait
+    /// (charged to a connection's first request) plus processing; the
+    /// peer's own think-time between requests is never counted. `None`
+    /// disables. An expired deadline answers 503 without running
+    /// inference.
+    pub deadline: Option<Duration>,
+    /// Idle read timeout on keep-alive connections; also bounds how long
+    /// shutdown waits on an idle peer.
+    pub keep_alive_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            workers: 4,
+            queue_depth: 64,
+            max_body_bytes: 1 << 20,
+            deadline: Some(Duration::from_secs(2)),
+            keep_alive_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One admitted connection, stamped for deadline accounting.
+struct Conn {
+    stream: TcpStream,
+    enqueued_at: Instant,
+}
+
+struct Inner {
+    api: Arc<ServingApi>,
+    metrics: HttpMetrics,
+    queue: Bounded<Conn>,
+    shutdown: AtomicBool,
+    config: ServerConfig,
+}
+
+/// A running server; dropping it shuts down gracefully.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Binds and starts the frontend over a shared [`ServingApi`].
+pub fn start(config: ServerConfig, api: Arc<ServingApi>) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = config.workers.max(1);
+    let inner = Arc::new(Inner {
+        api,
+        metrics: HttpMetrics::default(),
+        queue: Bounded::new(config.queue_depth),
+        shutdown: AtomicBool::new(false),
+        config,
+    });
+
+    let acceptor = {
+        let inner = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name("graphex-accept".into())
+            .spawn(move || accept_loop(listener, &inner))?
+    };
+    let worker_handles = (0..workers)
+        .map(|i| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name(format!("graphex-worker-{i}"))
+                .spawn(move || worker_loop(&inner))
+        })
+        .collect::<std::io::Result<Vec<_>>>()?;
+
+    Ok(ServerHandle { addr, inner, acceptor: Some(acceptor), workers: worker_handles })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serving facade behind this frontend (counter access).
+    pub fn api(&self) -> &Arc<ServingApi> {
+        &self.inner.api
+    }
+
+    /// HTTP-layer metrics (what `/metrics` renders).
+    pub fn metrics(&self) -> &HttpMetrics {
+        &self.inner.metrics
+    }
+
+    /// Graceful shutdown: stop accepting, drain admitted connections,
+    /// finish in-flight requests, join every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // The acceptor closed the queue on exit; workers drain it and stop.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || !self.workers.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: &Inner) {
+    loop {
+        let accepted = listener.accept();
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok((stream, _peer)) = accepted else {
+            // Transient accept failure (EMFILE, aborted handshake): keep
+            // serving; a poisoned listener would spin, but every error
+            // std reports here is per-connection, not per-listener.
+            continue;
+        };
+        inner.metrics.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        let conn = Conn { stream, enqueued_at: Instant::now() };
+        if let Err(refused) = inner.queue.try_push(conn) {
+            // Admission control: the queue is full (or shutting down) —
+            // shed with 429 instead of buffering or hanging.
+            inner.api.note_shed();
+            inner.metrics.connections_shed.fetch_add(1, Ordering::Relaxed);
+            let mut stream = refused.stream;
+            // The refusal is ~200 bytes into a fresh connection's empty
+            // send buffer, so this write practically never blocks; the
+            // short timeout is a backstop so a pathological peer cannot
+            // stall the accept loop during the very overload that causes
+            // sheds.
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+            let _ = http::write_response(
+                &mut stream,
+                429,
+                "text/plain; charset=utf-8",
+                b"shed: accept queue full\n",
+                false,
+                &[("Retry-After", "1")],
+            );
+        }
+    }
+    inner.queue.close();
+}
+
+fn worker_loop(inner: &Inner) {
+    while let Some(conn) = inner.queue.pop() {
+        // A panic must cost one connection, not one worker: an unwinding
+        // thread would silently shrink the pool toward a server that
+        // accepts and queues but never serves. Connection state is owned
+        // by the call, so unwind safety holds; api-side invariants are
+        // restored by its own guards (LeaderGuard, InFlightGuard).
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_connection(conn, inner);
+        }));
+        if caught.is_err() {
+            inner.metrics.record_response(Endpoint::Other, 500);
+        }
+    }
+}
+
+fn handle_connection(conn: Conn, inner: &Inner) {
+    let Conn { stream, enqueued_at } = conn;
+    // Server-induced delay so far: time spent waiting in the accept
+    // queue. The first request's deadline budget is charged this wait
+    // (plus its own processing) but NOT the peer's think-time between
+    // connecting and sending — an idle client on an idle server must
+    // never eat its own deadline.
+    let queue_wait = enqueued_at.elapsed();
+    let _ = stream.set_read_timeout(Some(inner.config.keep_alive_timeout));
+    let _ = stream.set_write_timeout(Some(inner.config.keep_alive_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut write_half = stream;
+    let mut requests_served = 0u64;
+
+    loop {
+        let request = match http::read_request(&mut reader, inner.config.max_body_bytes) {
+            Ok(request) => request,
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Io(_)) => return, // includes idle timeouts
+            Err(error) => {
+                // Malformed input: answer the right 4xx/5xx and close —
+                // a desynced byte stream cannot be trusted for reuse.
+                let (status, message) = match &error {
+                    ReadError::Bad(what) => (400, format!("bad request: {what}\n")),
+                    ReadError::BodyTooLarge { declared, max } => {
+                        (413, format!("body of {declared} bytes exceeds cap of {max}\n"))
+                    }
+                    ReadError::UnsupportedTransferEncoding => {
+                        (501, "transfer-encoding not supported; send content-length\n".into())
+                    }
+                    ReadError::Closed | ReadError::Io(_) => unreachable!("handled above"),
+                };
+                inner.metrics.record_response(Endpoint::Other, status);
+                let _ = http::write_response(
+                    &mut write_half,
+                    status,
+                    "text/plain; charset=utf-8",
+                    message.as_bytes(),
+                    false,
+                    &[],
+                );
+                return;
+            }
+        };
+
+        // Deadline basis: read completion, back-dated by the accept-queue
+        // wait for the connection's first request — so queue pressure
+        // counts against the budget but client think-time never does.
+        let started = if requests_served == 0 {
+            Instant::now().checked_sub(queue_wait).unwrap_or_else(Instant::now)
+        } else {
+            Instant::now()
+        };
+        requests_served += 1;
+
+        let draining = inner.shutdown.load(Ordering::SeqCst);
+        let keep_alive = request.keep_alive()
+            && !draining
+            && requests_served < MAX_KEEPALIVE_REQUESTS;
+        let outcome = route(&request, started, inner);
+        let written = http::write_response(
+            &mut write_half,
+            outcome.status,
+            outcome.content_type,
+            outcome.body.as_bytes(),
+            keep_alive,
+            &outcome.extra_headers,
+        );
+        inner.metrics.record_response(outcome.endpoint, outcome.status);
+        if outcome.endpoint == Endpoint::Infer {
+            inner.metrics.infer_latency.record(started.elapsed());
+        }
+        if written.is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+struct Routed {
+    endpoint: Endpoint,
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    extra_headers: Vec<(&'static str, &'static str)>,
+}
+
+impl Routed {
+    fn new(endpoint: Endpoint, status: u16, content_type: &'static str, body: String) -> Self {
+        Self { endpoint, status, content_type, body, extra_headers: Vec::new() }
+    }
+
+    fn json(endpoint: Endpoint, status: u16, value: &Json) -> Self {
+        Self::new(endpoint, status, "application/json", value.render())
+    }
+
+    fn error(endpoint: Endpoint, status: u16, message: impl Into<String>) -> Self {
+        Self::json(endpoint, status, &Json::obj(vec![("error", Json::str(message.into()))]))
+    }
+}
+
+fn route(request: &Request, started: Instant, inner: &Inner) -> Routed {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            Routed::new(Endpoint::Healthz, 200, "text/plain; charset=utf-8", "ok\n".into())
+        }
+        ("GET", "/statusz") => {
+            Routed::json(Endpoint::Statusz, 200, &statusz(&inner.api.stats(), inner))
+        }
+        ("GET", "/metrics") => Routed::new(
+            Endpoint::Metrics,
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            inner.metrics.render_prometheus(&inner.api.stats(), inner.queue.len()),
+        ),
+        ("POST", "/v1/infer") => infer(request, started, inner),
+        (_, "/healthz" | "/statusz" | "/metrics") => {
+            let mut routed = Routed::error(Endpoint::Other, 405, "method not allowed");
+            routed.extra_headers.push(("Allow", "GET"));
+            routed
+        }
+        (_, "/v1/infer") => {
+            let mut routed = Routed::error(Endpoint::Other, 405, "method not allowed");
+            routed.extra_headers.push(("Allow", "POST"));
+            routed
+        }
+        _ => Routed::error(Endpoint::Other, 404, format!("no route for {}", request.path)),
+    }
+}
+
+/// The `/statusz` payload: [`ServeStats`] plus queue/config gauges.
+fn statusz(stats: &ServeStats, inner: &Inner) -> Json {
+    Json::obj(vec![
+        ("snapshot_version", Json::uint(stats.snapshot_version)),
+        ("model_swaps", Json::uint(stats.model_swaps)),
+        ("in_flight", Json::uint(stats.in_flight)),
+        ("shed", Json::uint(stats.shed)),
+        ("deadline_exceeded", Json::uint(stats.deadline_exceeded)),
+        ("store_hits", Json::uint(stats.store_hits)),
+        ("read_throughs", Json::uint(stats.read_throughs)),
+        ("coalesced", Json::uint(stats.coalesced)),
+        ("direct", Json::uint(stats.direct)),
+        ("unservable", Json::uint(stats.unservable)),
+        ("invalidated", Json::uint(stats.invalidated)),
+        (
+            "outcomes",
+            Json::obj(
+                graphex_core::Outcome::ALL
+                    .iter()
+                    .map(|o| (o.name(), Json::uint(stats.outcomes.of(*o))))
+                    .collect(),
+            ),
+        ),
+        ("queue_depth", Json::uint(inner.queue.len() as u64)),
+        ("workers", Json::uint(inner.config.workers as u64)),
+    ])
+}
+
+fn infer(request: &Request, started: Instant, inner: &Inner) -> Routed {
+    // Deadline check happens before any parsing or inference: a request
+    // that waited out its budget in the accept queue is refused cheaply.
+    if let Some(deadline) = inner.config.deadline {
+        if started.elapsed() > deadline {
+            inner.api.note_deadline_exceeded();
+            let mut routed = Routed::error(Endpoint::Infer, 503, "deadline exceeded");
+            routed.extra_headers.push(("Retry-After", "1"));
+            return routed;
+        }
+    }
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return Routed::error(Endpoint::Infer, 400, "body is not valid UTF-8");
+    };
+    let envelope = match json::parse(text) {
+        Ok(value) => value,
+        Err(e) => return Routed::error(Endpoint::Infer, 400, format!("invalid JSON: {e}")),
+    };
+
+    let _guard = inner.api.begin_request();
+    match envelope.get("requests") {
+        None => match decode_one(&envelope) {
+            Err(message) => Routed::error(Endpoint::Infer, 400, message),
+            Ok(decoded) => {
+                let served = inner.api.serve_request(&decoded.request());
+                let body = render_served(&served, decoded.id);
+                Routed::json(Endpoint::Infer, 200, &body)
+            }
+        },
+        Some(Json::Arr(entries)) => {
+            if entries.len() > MAX_BATCH {
+                return Routed::error(
+                    Endpoint::Infer,
+                    400,
+                    format!("batch of {} exceeds cap of {MAX_BATCH}", entries.len()),
+                );
+            }
+            let mut decoded = Vec::with_capacity(entries.len());
+            for (i, entry) in entries.iter().enumerate() {
+                match decode_one(entry) {
+                    Ok(d) => decoded.push(d),
+                    Err(message) => {
+                        return Routed::error(
+                            Endpoint::Infer,
+                            400,
+                            format!("requests[{i}]: {message}"),
+                        )
+                    }
+                }
+            }
+            let requests: Vec<InferRequest<'_>> = decoded.iter().map(|d| d.request()).collect();
+            let served = inner.api.serve_batch(&requests);
+            let responses: Vec<Json> = served
+                .iter()
+                .zip(&decoded)
+                .map(|(s, d)| render_served(s, d.id))
+                .collect();
+            let body = Json::obj(vec![
+                ("responses", Json::Arr(responses)),
+                // Envelope-level: the snapshot *serving* right now (the
+                // per-response field is the snapshot that produced each
+                // answer, which can be older on cached store hits).
+                ("snapshot_version", Json::uint(inner.api.snapshot_version())),
+            ]);
+            Routed::json(Endpoint::Infer, 200, &body)
+        }
+        Some(_) => Routed::error(Endpoint::Infer, 400, "\"requests\" must be an array"),
+    }
+}
+
+/// One decoded infer envelope (owns the strings the borrowed
+/// [`InferRequest`] points into).
+struct Decoded {
+    title: String,
+    leaf: u32,
+    k: Option<usize>,
+    id: Option<u64>,
+    alignment: Option<Alignment>,
+}
+
+impl Decoded {
+    fn request(&self) -> InferRequest<'_> {
+        let mut request =
+            InferRequest::new(&self.title, graphex_core::LeafId(self.leaf)).resolve_texts(true);
+        if let Some(k) = self.k {
+            request = request.k(k);
+        }
+        if let Some(id) = self.id {
+            request = request.id(id);
+        }
+        if let Some(alignment) = self.alignment {
+            request = request.alignment(alignment);
+        }
+        request
+    }
+}
+
+fn decode_one(value: &Json) -> Result<Decoded, String> {
+    if !matches!(value, Json::Obj(_)) {
+        return Err("request must be a JSON object".into());
+    }
+    let title = value
+        .get("title")
+        .and_then(Json::as_str)
+        .ok_or("missing or non-string \"title\"")?
+        .to_string();
+    let leaf = value
+        .get("leaf")
+        .and_then(Json::as_u64)
+        .ok_or("missing or non-integer \"leaf\"")?;
+    let leaf = u32::try_from(leaf).map_err(|_| "\"leaf\" exceeds u32 range".to_string())?;
+    let k = match value.get("k") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .filter(|&k| (1..=10_000).contains(&k))
+                .ok_or("\"k\" must be an integer in 1..=10000")? as usize,
+        ),
+    };
+    // KV keys are full u64 (PR 2); JSON numbers are f64 and lose
+    // exactness past 2^53, so large ids are accepted as decimal strings.
+    let id = match value.get("id") {
+        None => None,
+        Some(Json::Str(raw)) => {
+            Some(raw.parse::<u64>().map_err(|_| "\"id\" string must be a decimal u64")?)
+        }
+        Some(v) => Some(v.as_u64().ok_or(
+            "\"id\" must be a non-negative integer (< 2^53) or a decimal string",
+        )?),
+    };
+    let alignment = match value.get("alignment").map(|v| (v, v.as_str())) {
+        None => None,
+        Some((_, Some("lta"))) => Some(Alignment::Lta),
+        Some((_, Some("wmr"))) => Some(Alignment::Wmr),
+        Some((_, Some("jac"))) => Some(Alignment::Jac),
+        Some(_) => return Err("\"alignment\" must be one of lta|wmr|jac".into()),
+    };
+    Ok(Decoded { title, leaf, k, id, alignment })
+}
+
+fn source_label(source: ServeSource) -> &'static str {
+    match source {
+        ServeSource::Store => "store_hit",
+        ServeSource::ReadThrough => "read_through",
+        ServeSource::Coalesced => "coalesced",
+        ServeSource::Direct => "direct",
+        ServeSource::None => "none",
+    }
+}
+
+fn render_served(served: &Served, id: Option<u64>) -> Json {
+    let mut members = vec![
+        ("outcome", Json::str(served.outcome.name())),
+        ("source", Json::str(source_label(served.source))),
+        (
+            "keyphrases",
+            Json::Arr(served.keyphrases.iter().map(|k| Json::str(k.clone())).collect()),
+        ),
+        ("snapshot_version", Json::uint(served.snapshot_version)),
+    ];
+    if let Some(id) = id {
+        // Ids past 2^53 are echoed as strings, mirroring what the decoder
+        // accepts: an f64 JSON number cannot carry them exactly.
+        let id_json = if id <= 1 << 53 { Json::uint(id) } else { Json::str(id.to_string()) };
+        members.insert(0, ("id", id_json));
+    }
+    Json::obj(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+    use graphex_core::{GraphExBuilder, GraphExConfig, KeyphraseRecord, LeafId};
+    use graphex_serving::KvStore;
+    use std::io::Write as _;
+
+    fn api() -> Arc<ServingApi> {
+        let mut config = GraphExConfig::default();
+        config.curation.min_search_count = 0;
+        config.build_meta_fallback = false;
+        let model = GraphExBuilder::new(config)
+            .add_records(vec![
+                KeyphraseRecord::new("widget gadget", LeafId(1), 90, 5),
+                KeyphraseRecord::new("widget gadget pro", LeafId(1), 50, 5),
+                KeyphraseRecord::new("widget gadget pro max", LeafId(1), 30, 5),
+            ])
+            .build()
+            .unwrap();
+        Arc::new(ServingApi::new(Arc::new(model), Arc::new(KvStore::new()), 10))
+    }
+
+    fn test_config() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_depth: 16,
+            max_body_bytes: 4096,
+            deadline: None,
+            keep_alive_timeout: Duration::from_secs(2),
+        }
+    }
+
+    #[test]
+    fn serves_all_four_endpoints_over_keep_alive() {
+        let server = crate::start(test_config(), api()).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+
+        let health = client.get("/healthz").unwrap();
+        assert_eq!((health.status, health.text().as_str()), (200, "ok\n"));
+
+        let single = client
+            .post_json("/v1/infer", r#"{"title":"widget gadget pro max","leaf":1,"k":2,"id":7}"#)
+            .unwrap();
+        assert_eq!(single.status, 200);
+        let body = json::parse(&single.text()).unwrap();
+        assert_eq!(body.get("outcome").unwrap().as_str(), Some("exact_leaf"));
+        assert_eq!(body.get("source").unwrap().as_str(), Some("read_through"));
+        assert_eq!(body.get("id").unwrap().as_u64(), Some(7));
+        assert_eq!(body.get("keyphrases").unwrap().as_arr().unwrap().len(), 2);
+
+        // Same id again: a store hit over the same connection.
+        let again = client
+            .post_json("/v1/infer", r#"{"title":"widget gadget pro max","leaf":1,"k":2,"id":7}"#)
+            .unwrap();
+        assert_eq!(
+            json::parse(&again.text()).unwrap().get("source").unwrap().as_str(),
+            Some("store_hit")
+        );
+
+        let batch = client
+            .post_json(
+                "/v1/infer",
+                r#"{"requests":[{"title":"widget gadget","leaf":1},{"title":"zz","leaf":999}]}"#,
+            )
+            .unwrap();
+        assert_eq!(batch.status, 200);
+        let body = json::parse(&batch.text()).unwrap();
+        let responses = body.get("responses").unwrap().as_arr().unwrap();
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0].get("outcome").unwrap().as_str(), Some("exact_leaf"));
+        assert_eq!(responses[1].get("outcome").unwrap().as_str(), Some("unknown_leaf"));
+
+        let status = client.get("/statusz").unwrap();
+        assert_eq!(status.status, 200);
+        let stats = json::parse(&status.text()).unwrap();
+        assert_eq!(stats.get("store_hits").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("snapshot_version").unwrap().as_u64(), Some(0));
+
+        let metrics = client.get("/metrics").unwrap();
+        assert_eq!(metrics.status, 200);
+        let text = metrics.text();
+        assert!(text.contains("graphex_http_requests_total{endpoint=\"infer\",code=\"200\"} 3"));
+        assert!(text.contains("graphex_request_duration_seconds_count 3"));
+        assert!(text.contains("graphex_serve_source_total{source=\"store_hit\"} 1"));
+
+        drop(client); // close the keep-alive so shutdown doesn't wait it out
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_4xx_never_a_hang() {
+        let server = crate::start(test_config(), api()).unwrap();
+        let addr = server.addr();
+
+        // Each malformed case desyncs the stream, so use a fresh
+        // connection per probe (the server closes after an error).
+        type Probe = Box<dyn Fn(&mut HttpClient) -> std::io::Result<crate::Response>>;
+        let cases: Vec<(u16, Probe)> = vec![
+            (400, Box::new(|c| c.post_json("/v1/infer", "this is not json"))),
+            (400, Box::new(|c| c.post_json("/v1/infer", r#"{"leaf":1}"#))),
+            (400, Box::new(|c| c.post_json("/v1/infer", r#"{"title":"x","leaf":-3}"#))),
+            (400, Box::new(|c| c.post_json("/v1/infer", r#"{"title":"x","leaf":1,"k":0}"#))),
+            (400, Box::new(|c| c.post_json("/v1/infer", r#"{"requests":7}"#))),
+            (400, Box::new(|c| c.post_json("/v1/infer", r#"{"requests":[{"title":1,"leaf":1}]}"#))),
+            (404, Box::new(|c| c.get("/nope"))),
+            (405, Box::new(|c| c.get("/v1/infer"))),
+            (405, Box::new(|c| c.post_json("/healthz", "{}"))),
+        ];
+        for (expected, probe) in cases {
+            let mut client = HttpClient::connect(addr).unwrap();
+            let response = probe(&mut client).unwrap();
+            assert_eq!(response.status, expected, "{}", response.text());
+        }
+
+        // Oversized body: declared length beyond the cap → 413.
+        let mut client = HttpClient::connect(addr).unwrap();
+        let response = client.post_json("/v1/infer", &"x".repeat(5000)).unwrap();
+        assert_eq!(response.status, 413);
+
+        // Raw garbage on the socket → 400, not a hang or panic.
+        let mut raw = std::net::TcpStream::connect(addr).unwrap();
+        raw.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut reply = String::new();
+        use std::io::Read as _;
+        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        raw.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+
+        // The server still serves normal traffic afterwards.
+        let mut client = HttpClient::connect(addr).unwrap();
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_accept_queue_sheds_with_429() {
+        let config = ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..test_config()
+        };
+        let server = crate::start(config, api()).unwrap();
+        let addr = server.addr();
+
+        // Occupy the single worker with a held keep-alive connection.
+        let mut held = HttpClient::connect(addr).unwrap();
+        assert_eq!(held.get("/healthz").unwrap().status, 200);
+        // Fill the queue with a second (idle) connection. Poll the gauge
+        // rather than sleeping: the acceptor thread admits it when ready.
+        let _queued = std::net::TcpStream::connect(addr).unwrap();
+        for _ in 0..200 {
+            if server.inner.queue.len() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(server.inner.queue.len(), 1, "second connection queued");
+
+        // A third connection must be shed immediately: 429, no hang.
+        let mut shed = HttpClient::connect(addr).unwrap();
+        let response = shed.get("/healthz").unwrap();
+        assert_eq!(response.status, 429);
+        assert_eq!(response.header("retry-after"), Some("1"));
+        assert_eq!(server.api().stats().shed, 1);
+        assert_eq!(server.metrics().connections_shed.load(Ordering::Relaxed), 1);
+        drop((held, _queued, shed));
+        server.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_answers_503_without_inference() {
+        let config = ServerConfig {
+            deadline: Some(Duration::from_nanos(1)),
+            ..test_config()
+        };
+        let server = crate::start(config, api()).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let response =
+            client.post_json("/v1/infer", r#"{"title":"widget gadget","leaf":1}"#).unwrap();
+        assert_eq!(response.status, 503);
+        let stats = server.api().stats();
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert_eq!(stats.outcomes.total(), 0, "no inference ran");
+        // Health/stats endpoints are exempt from the inference deadline.
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+        drop(client);
+        server.shutdown();
+    }
+
+    /// KV keys are full u64; ids past 2^53 travel as decimal strings in
+    /// both directions (JSON numbers are f64).
+    #[test]
+    fn large_ids_roundtrip_as_strings() {
+        let server = crate::start(test_config(), api()).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let big = u64::MAX;
+        let body = format!(r#"{{"title":"widget gadget","leaf":1,"id":"{big}"}}"#);
+        let response = client.post_json("/v1/infer", &body).unwrap();
+        assert_eq!(response.status, 200, "{}", response.text());
+        let parsed = json::parse(&response.text()).unwrap();
+        assert_eq!(parsed.get("id").unwrap().as_str(), Some(big.to_string().as_str()));
+        // Small ids keep the plain-number form.
+        let response = client
+            .post_json("/v1/infer", r#"{"title":"widget gadget","leaf":1,"id":12}"#)
+            .unwrap();
+        let parsed = json::parse(&response.text()).unwrap();
+        assert_eq!(parsed.get("id").unwrap().as_u64(), Some(12));
+        // A number past 2^53 is a 400, not silent precision loss.
+        let response = client
+            .post_json("/v1/infer", r#"{"title":"widget gadget","leaf":1,"id":18446744073709551615}"#)
+            .unwrap();
+        assert_eq!(response.status, 400);
+        drop(client);
+        server.shutdown();
+    }
+
+    /// The deadline budget covers server-induced delay only: a client
+    /// that connects, thinks for longer than the deadline, and then
+    /// sends on an idle server must be served, not 503'd.
+    #[test]
+    fn client_think_time_does_not_consume_the_deadline() {
+        let config = ServerConfig {
+            deadline: Some(Duration::from_millis(150)),
+            ..test_config()
+        };
+        let server = crate::start(config, api()).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(400)); // > deadline, pure think-time
+        let response =
+            client.post_json("/v1/infer", r#"{"title":"widget gadget","leaf":1}"#).unwrap();
+        assert_eq!(response.status, 200, "{}", response.text());
+        assert_eq!(server.api().stats().deadline_exceeded, 0);
+        drop(client);
+        server.shutdown();
+    }
+
+    /// Worker pinning is bounded: after `MAX_KEEPALIVE_REQUESTS` on one
+    /// connection the server closes it, so a chatty peer cannot starve
+    /// queued connections forever.
+    #[test]
+    fn keep_alive_connections_are_capped() {
+        let server = crate::start(test_config(), api()).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        for i in 1..MAX_KEEPALIVE_REQUESTS {
+            let response = client.get("/healthz").unwrap();
+            assert_eq!(response.status, 200);
+            assert_ne!(response.header("connection"), Some("close"), "closed early at {i}");
+        }
+        let last = client.get("/healthz").unwrap();
+        assert_eq!(last.status, 200);
+        assert_eq!(last.header("connection"), Some("close"), "cap must close the connection");
+        assert!(client.get("/healthz").is_err(), "server hung up after the cap");
+        // A reconnect is admitted immediately.
+        let mut fresh = HttpClient::connect(server.addr()).unwrap();
+        assert_eq!(fresh.get("/healthz").unwrap().status, 200);
+        drop(fresh);
+        server.shutdown();
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_queued_connections() {
+        let config = ServerConfig { workers: 1, queue_depth: 8, ..test_config() };
+        let server = crate::start(config, api()).unwrap();
+        let addr = server.addr();
+        // Subsequent requests on one connection under shutdown still get
+        // answered (with Connection: close) rather than dropped.
+        let mut client = HttpClient::connect(addr).unwrap();
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+        drop(client);
+        server.shutdown();
+        // After shutdown the port no longer accepts.
+        assert!(HttpClient::connect(addr).is_err() || {
+            // A TIME_WAIT race can let connect succeed; the write/read
+            // must then fail.
+            let mut c = HttpClient::connect(addr).unwrap();
+            c.get("/healthz").is_err()
+        });
+    }
+}

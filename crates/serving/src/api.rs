@@ -61,6 +61,12 @@ pub struct Served {
     /// responses computed by this call (read-through / coalesced /
     /// direct). Empty on store hits — the KV store holds texts only.
     pub predictions: Vec<graphex_core::Prediction>,
+    /// Registry version of the model snapshot that *produced* these
+    /// keyphrases: the computing snapshot for fresh answers, the stored
+    /// record's tag for store hits (which may predate the serving
+    /// snapshot under [`SwapPolicy::Serve`]). 0 = fixed engine without a
+    /// registry, or an unservable answer.
+    pub snapshot_version: u64,
 }
 
 /// One in-flight read-through; followers block on `ready` until the leader
@@ -88,6 +94,22 @@ impl Flight {
     }
 }
 
+/// What to do with KV records computed by a *different* model snapshot
+/// than the one serving now (after a hot swap or rollback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SwapPolicy {
+    /// Serve cached answers regardless of the snapshot that computed them
+    /// (the paper's Fig. 7 behaviour: refresh rides the next batch/NRT
+    /// pass). This is the default.
+    #[default]
+    Serve,
+    /// Treat a store hit tagged with another `snapshot_version` as a miss
+    /// and recompute through the single-flight read-through, so cached
+    /// keyphrases cannot outlive a model rollback indefinitely. Records
+    /// tagged 0 (fixed-engine writes) are always served.
+    Invalidate,
+}
+
 /// Read-through serving facade: a [`KeyphraseService`] backed by the KV
 /// store with an [`Engine`] behind it.
 ///
@@ -100,11 +122,24 @@ pub struct ServingApi {
     watch: ModelWatch,
     store: Arc<KvStore>,
     default_k: usize,
+    swap_policy: SwapPolicy,
     store_hits: AtomicU64,
     read_throughs: AtomicU64,
     coalesced: AtomicU64,
     direct: AtomicU64,
     unservable: AtomicU64,
+    /// Store hits bypassed because their snapshot tag was stale
+    /// ([`SwapPolicy::Invalidate`] only).
+    invalidated: AtomicU64,
+    /// Requests refused upstream by admission control (recorded by a
+    /// network frontend via [`ServingApi::note_shed`]).
+    shed: AtomicU64,
+    /// Requests answered with a deadline-exceeded error upstream
+    /// (recorded via [`ServingApi::note_deadline_exceeded`]).
+    deadline_exceeded: AtomicU64,
+    /// Requests currently executing (gauge; see
+    /// [`ServingApi::begin_request`]).
+    in_flight_gauge: AtomicU64,
     /// Responses by [`Outcome::index`].
     outcomes: [AtomicU64; 4],
     /// item id → in-flight read-through (single-flight).
@@ -121,6 +156,15 @@ pub struct ServeStats {
     /// Id-less requests computed without store interaction.
     pub direct: u64,
     pub unservable: u64,
+    /// Store hits recomputed because their record was tagged with a
+    /// different model snapshot ([`SwapPolicy::Invalidate`] only).
+    pub invalidated: u64,
+    /// Requests refused by admission control (load shed, e.g. HTTP 429).
+    pub shed: u64,
+    /// Requests that missed their deadline (e.g. HTTP 503).
+    pub deadline_exceeded: u64,
+    /// Requests executing right now (gauge, not a counter).
+    pub in_flight: u64,
     /// Every response tallied by its inference outcome.
     pub outcomes: graphex_core::OutcomeCounts,
     /// Registry version of the model serving right now (0 when the api
@@ -149,14 +193,51 @@ impl ServingApi {
             watch,
             store,
             default_k,
+            swap_policy: SwapPolicy::default(),
             store_hits: AtomicU64::new(0),
             read_throughs: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             direct: AtomicU64::new(0),
             unservable: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            in_flight_gauge: AtomicU64::new(0),
             outcomes: Default::default(),
             inflight: Mutex::new(FxHashMap::default()),
         }
+    }
+
+    /// Sets the [`SwapPolicy`] (builder style; call before sharing the
+    /// api). The default is [`SwapPolicy::Serve`].
+    pub fn swap_policy(mut self, policy: SwapPolicy) -> Self {
+        self.swap_policy = policy;
+        self
+    }
+
+    /// Records one admission-control refusal (load shed). Network
+    /// frontends call this when the accept queue is saturated, so the
+    /// counter shows up in [`ServeStats`] next to the serving counters.
+    pub fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one deadline-exceeded refusal.
+    pub fn note_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Registry version of the model serving right now (one watch read;
+    /// cheaper than assembling a full [`ServeStats`] snapshot).
+    pub fn snapshot_version(&self) -> u64 {
+        self.watch.version()
+    }
+
+    /// Marks one request as executing until the returned guard drops;
+    /// [`ServeStats::in_flight`] is the number of live guards.
+    pub fn begin_request(&self) -> InFlightGuard<'_> {
+        self.in_flight_gauge.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard { api: self }
     }
 
     /// The engine serving read-through inference *right now* (a cheap
@@ -203,19 +284,35 @@ impl ServingApi {
             Follower(Arc<Flight>),
         }
         loop {
+            // Resolve the serving version once per pass (and only under
+            // the invalidate policy), so the freshness probe below never
+            // touches the watch's RwLock inside the inflight mutex.
+            let current = match self.swap_policy {
+                SwapPolicy::Serve => 0,
+                SwapPolicy::Invalidate => self.watch.version(),
+            };
             if let Some(stored) = self.store.get(item) {
-                return self.count_hit(stored, request.k);
+                if self.record_is_fresh(stored.snapshot_version, current) {
+                    return self.count_hit(stored, request.k);
+                }
+                // Stale under SwapPolicy::Invalidate: fall through to the
+                // read-through path, which overwrites the record.
+                self.invalidated.fetch_add(1, Ordering::Relaxed);
             }
             let role = {
                 let mut inflight = self.lock_inflight();
                 // Double-check under the map lock: the leader writes the
                 // store *before* clearing its flight entry, so a concurrent
-                // completion is visible here. Only a presence probe runs
+                // completion is visible here. Only a snapshot-tag probe runs
                 // under the global lock — the record fetch happens
                 // lock-free on the next pass, so concurrent misses on
                 // distinct items don't serialize on a store clone.
-                if self.store.contains(item) {
-                    continue;
+                // A present-but-stale record does *not* `continue` (the
+                // next pass would see it stale again and loop forever); it
+                // proceeds to leader election so it gets overwritten.
+                match self.store.probe_snapshot(item) {
+                    Some(tag) if self.record_is_fresh(tag, current) => continue,
+                    _ => {}
                 }
                 if let Some(flight) = inflight.get(&item) {
                     Role::Follower(Arc::clone(flight))
@@ -250,7 +347,12 @@ impl ServingApi {
                     let mut guard = LeaderGuard { api: self, item, flight: &flight, armed: true };
                     let served = self.compute(request);
                     if served.outcome.is_servable() {
-                        self.store.put(item, served.keyphrases.clone(), served.outcome);
+                        self.store.put(
+                            item,
+                            served.keyphrases.clone(),
+                            served.outcome,
+                            served.snapshot_version,
+                        );
                     }
                     // Store write is published; only now may new callers
                     // miss the flight entry (they re-check the store under
@@ -281,6 +383,10 @@ impl ServingApi {
             coalesced: load(&self.coalesced),
             direct: load(&self.direct),
             unservable: load(&self.unservable),
+            invalidated: load(&self.invalidated),
+            shed: load(&self.shed),
+            deadline_exceeded: load(&self.deadline_exceeded),
+            in_flight: load(&self.in_flight_gauge),
             outcomes: graphex_core::OutcomeCounts {
                 exact_leaf: load(&self.outcomes[Outcome::ExactLeaf.index()]),
                 meta_fallback: load(&self.outcomes[Outcome::MetaFallback.index()]),
@@ -292,16 +398,31 @@ impl ServingApi {
         }
     }
 
+    /// Whether a store record with this snapshot tag may be served under
+    /// the configured [`SwapPolicy`]. Untagged records (0) always may;
+    /// `current` is the serving version the caller resolved up front
+    /// (unused under [`SwapPolicy::Serve`]).
+    fn record_is_fresh(&self, record_snapshot: u64, current: u64) -> bool {
+        match self.swap_policy {
+            SwapPolicy::Serve => true,
+            SwapPolicy::Invalidate => record_snapshot == 0 || record_snapshot == current,
+        }
+    }
+
     /// Pure inference through the engine pool (no store interaction).
     /// Text resolution is forced only when the answer can reach the store
     /// (the store holds texts); id-less requests keep the caller's
     /// `resolve_texts` choice, matching the `Engine` trait behaviour.
+    /// The returned [`Served::snapshot_version`] is the snapshot the
+    /// inference actually ran on, so the write-back tags the record with
+    /// the producing model even if a swap lands between compute and put.
     fn compute(&self, request: &InferRequest<'_>) -> Served {
         let request =
             if request.id.is_some() { request.resolve_texts(true) } else { *request };
         // Resolve the model per computation: this is the hot-swap seam.
         // The `Arc` held here pins the snapshot for the whole inference.
-        let response = self.watch.current().engine.infer(&request);
+        let active = self.watch.current();
+        let response = active.engine.infer(&request);
         let source = if !response.outcome.is_servable() {
             ServeSource::None
         } else if request.id.is_some() {
@@ -314,6 +435,7 @@ impl ServingApi {
             source,
             outcome: response.outcome,
             predictions: response.predictions,
+            snapshot_version: active.version,
         }
     }
 
@@ -325,6 +447,7 @@ impl ServingApi {
             source: ServeSource::Store,
             outcome: stored.outcome,
             predictions: Vec::new(),
+            snapshot_version: stored.snapshot_version,
         };
         self.count(&served);
         served
@@ -347,6 +470,19 @@ impl ServingApi {
     }
 }
 
+/// RAII marker for one executing request (see
+/// [`ServingApi::begin_request`]): decrements the in-flight gauge on drop,
+/// including on unwind.
+pub struct InFlightGuard<'a> {
+    api: &'a ServingApi,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.api.in_flight_gauge.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// Unwinding-safety net for the single-flight leader (see
 /// [`ServingApi::serve_request`]): on panic, clear the in-flight entry and
 /// wake followers with an unservable answer rather than wedging the item.
@@ -366,6 +502,7 @@ impl Drop for LeaderGuard<'_> {
                 source: ServeSource::None,
                 outcome: Outcome::Empty,
                 predictions: Vec::new(),
+                snapshot_version: 0,
             });
         }
     }
@@ -411,7 +548,7 @@ mod tests {
     #[test]
     fn store_hit_is_served_verbatim() {
         let store = Arc::new(KvStore::new());
-        store.put(7, vec!["precomputed".into()], Outcome::ExactLeaf);
+        store.put(7, vec!["precomputed".into()], Outcome::ExactLeaf, 0);
         let api = ServingApi::new(model(), store, 10);
         let served = api.serve(7, "widget gadget", LeafId(1));
         assert_eq!(served.source, ServeSource::Store);
@@ -479,7 +616,7 @@ mod tests {
     #[test]
     fn store_hit_truncates_to_request_k() {
         let store = Arc::new(KvStore::new());
-        store.put(7, vec!["a".into(), "b".into(), "c".into()], Outcome::ExactLeaf);
+        store.put(7, vec!["a".into(), "b".into(), "c".into()], Outcome::ExactLeaf, 0);
         let api = ServingApi::new(model(), store, 10);
         let one = api.serve_request(&InferRequest::new("ignored", LeafId(1)).k(1).id(7));
         assert_eq!(one.source, ServeSource::Store);
@@ -525,7 +662,7 @@ mod tests {
     #[test]
     fn serve_batch_mixes_hits_and_read_throughs() {
         let store = Arc::new(KvStore::new());
-        store.put(1, vec!["stored".into()], Outcome::ExactLeaf);
+        store.put(1, vec!["stored".into()], Outcome::ExactLeaf, 0);
         let api = ServingApi::new(model(), store, 10);
         let requests = [
             InferRequest::new("irrelevant title", LeafId(1)).k(5).id(1), // hit
@@ -650,6 +787,77 @@ mod tests {
         assert_eq!(api.stats().snapshot_version, 2);
         assert_eq!(api.stats().model_swaps, 1);
         std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// PR 3 gotcha fix: under [`SwapPolicy::Invalidate`], a cached answer
+    /// computed by a withdrawn snapshot is recomputed on the next request
+    /// instead of being served forever; the default policy keeps the
+    /// Fig. 7 serve-stale behaviour.
+    #[test]
+    fn invalidate_policy_recomputes_after_swap_and_rollback() {
+        let root = std::env::temp_dir()
+            .join(format!("graphex-api-swap-policy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let registry = crate::ModelRegistry::open(&root).unwrap();
+        registry.publish(&model(), "v1").unwrap();
+
+        let store = Arc::new(KvStore::new());
+        let api = ServingApi::with_watch(registry.watch().unwrap(), store.clone(), 10)
+            .swap_policy(SwapPolicy::Invalidate);
+
+        // Read-through under snapshot 1 tags the record.
+        let first = api.serve(5, "widget gadget pro", LeafId(1));
+        assert_eq!(first.source, ServeSource::ReadThrough);
+        assert_eq!(store.get(5).unwrap().snapshot_version, 1);
+        // Same snapshot: a plain store hit.
+        assert_eq!(api.serve(5, "widget gadget pro", LeafId(1)).source, ServeSource::Store);
+
+        // Hot swap to snapshot 2: the cached record is stale, so the next
+        // request recomputes and re-tags it.
+        registry.publish(&model(), "v2").unwrap();
+        let after_swap = api.serve(5, "widget gadget pro", LeafId(1));
+        assert_eq!(after_swap.source, ServeSource::ReadThrough);
+        assert_eq!(store.get(5).unwrap().snapshot_version, 2);
+        assert_eq!(store.get(5).unwrap().version, 2, "record was overwritten once");
+
+        // Rollback to snapshot 1: the version-2 record is stale again —
+        // a rollback cannot leave withdrawn-model answers serving.
+        registry.rollback().unwrap();
+        let after_rollback = api.serve(5, "widget gadget pro", LeafId(1));
+        assert_eq!(after_rollback.source, ServeSource::ReadThrough);
+        assert_eq!(store.get(5).unwrap().snapshot_version, 1);
+        let stats = api.stats();
+        assert_eq!(stats.invalidated, 2);
+        assert_eq!(stats.store_hits, 1);
+        assert_eq!(stats.read_throughs, 3);
+
+        // The default policy serves the cached answer across a swap.
+        let lax_store = Arc::new(KvStore::new());
+        let lax = ServingApi::with_watch(registry.watch().unwrap(), lax_store.clone(), 10);
+        lax.serve(5, "widget gadget pro", LeafId(1));
+        registry.publish(&model(), "v3").unwrap();
+        assert_eq!(lax.serve(5, "widget gadget pro", LeafId(1)).source, ServeSource::Store);
+        assert_eq!(lax.stats().invalidated, 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// The frontend gauges ride `ServeStats`: shed / deadline-exceeded
+    /// counters and the in-flight gauge with its RAII guard.
+    #[test]
+    fn frontend_gauges_are_recorded() {
+        let api = ServingApi::new(model(), Arc::new(KvStore::new()), 10);
+        assert_eq!(api.stats().in_flight, 0);
+        {
+            let _a = api.begin_request();
+            let _b = api.begin_request();
+            assert_eq!(api.stats().in_flight, 2);
+        }
+        assert_eq!(api.stats().in_flight, 0);
+        api.note_shed();
+        api.note_shed();
+        api.note_deadline_exceeded();
+        let stats = api.stats();
+        assert_eq!((stats.shed, stats.deadline_exceeded), (2, 1));
     }
 
     /// Unservable single-flight: coalesced followers of an unservable

@@ -114,7 +114,7 @@ impl<'a> BatchPipeline<'a> {
             }
             with_recs += 1;
             total += response.texts.len();
-            self.store.put(u64::from(item.id), response.texts, response.outcome);
+            self.store.put(u64::from(item.id), response.texts, response.outcome, snapshot_version);
         }
         BatchReport {
             items_processed: items.len(),

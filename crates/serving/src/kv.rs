@@ -23,6 +23,10 @@ pub struct StoredRecs {
     /// Provenance of the inference that produced these keyphrases
     /// (exact-leaf graph vs. meta fallback).
     pub outcome: Outcome,
+    /// Registry version of the model snapshot that computed these
+    /// keyphrases (0 for a fixed engine without a registry). Lets serving
+    /// detect records that outlived a hot swap or rollback.
+    pub snapshot_version: u64,
 }
 
 /// Concurrent item → keyphrases store.
@@ -48,16 +52,19 @@ impl KvStore {
     }
 
     /// Writes (or overwrites) an item's keyphrases, bumping the version.
-    pub fn put(&self, item: u64, keyphrases: Vec<String>, outcome: Outcome) {
+    /// `snapshot_version` tags the record with the model snapshot that
+    /// produced it (0 for a fixed engine without a registry).
+    pub fn put(&self, item: u64, keyphrases: Vec<String>, outcome: Outcome, snapshot_version: u64) {
         let mut shard = self.shard(item).write();
         match shard.get_mut(&item) {
             Some(existing) => {
                 existing.version += 1;
                 existing.keyphrases = keyphrases;
                 existing.outcome = outcome;
+                existing.snapshot_version = snapshot_version;
             }
             None => {
-                shard.insert(item, StoredRecs { keyphrases, version: 1, outcome });
+                shard.insert(item, StoredRecs { keyphrases, version: 1, outcome, snapshot_version });
             }
         }
     }
@@ -71,6 +78,28 @@ impl KvStore {
     /// under another lock).
     pub fn contains(&self, item: u64) -> bool {
         self.shard(item).read().contains_key(&item)
+    }
+
+    /// The `snapshot_version` an item's record was computed by, without
+    /// cloning the keyphrases (cheap enough to call under another lock).
+    pub fn probe_snapshot(&self, item: u64) -> Option<u64> {
+        self.shard(item).read().get(&item).map(|r| r.snapshot_version)
+    }
+
+    /// Removes every record whose `snapshot_version` differs from
+    /// `current` (records tagged 0 — fixed-engine writes — are kept).
+    /// Returns how many were dropped. This is the eager counterpart to
+    /// `ServingApi`'s lazy invalidate-on-swap policy: call it after a
+    /// rollback to purge answers computed by a withdrawn snapshot.
+    pub fn purge_stale(&self, current: u64) -> usize {
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            let before = shard.len();
+            shard.retain(|_, r| r.snapshot_version == 0 || r.snapshot_version == current);
+            dropped += before - shard.len();
+        }
+        dropped
     }
 
     /// Number of items stored.
@@ -108,7 +137,7 @@ mod tests {
     #[test]
     fn put_get_roundtrip() {
         let kv = KvStore::new();
-        kv.put(7, vec!["a".into(), "b".into()], Outcome::ExactLeaf);
+        kv.put(7, vec!["a".into(), "b".into()], Outcome::ExactLeaf, 0);
         let got = kv.get(7).unwrap();
         assert_eq!(got.keyphrases, ["a", "b"]);
         assert_eq!(got.version, 1);
@@ -119,19 +148,36 @@ mod tests {
     #[test]
     fn overwrite_bumps_version_and_updates_outcome() {
         let kv = KvStore::new();
-        kv.put(7, vec!["a".into()], Outcome::ExactLeaf);
-        kv.put(7, vec!["b".into()], Outcome::MetaFallback);
+        kv.put(7, vec!["a".into()], Outcome::ExactLeaf, 3);
+        kv.put(7, vec!["b".into()], Outcome::MetaFallback, 4);
         let got = kv.get(7).unwrap();
         assert_eq!(got.keyphrases, ["b"]);
         assert_eq!(got.version, 2);
         assert_eq!(got.outcome, Outcome::MetaFallback);
+        assert_eq!(got.snapshot_version, 4);
+        assert_eq!(kv.probe_snapshot(7), Some(4));
+        assert_eq!(kv.probe_snapshot(8), None);
         assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn purge_stale_drops_other_snapshots_but_keeps_untagged() {
+        let kv = KvStore::new();
+        kv.put(1, vec!["v1".into()], Outcome::ExactLeaf, 1);
+        kv.put(2, vec!["v2".into()], Outcome::ExactLeaf, 2);
+        kv.put(3, vec!["fixed".into()], Outcome::ExactLeaf, 0);
+        // Roll back to snapshot 1: the v2 record is the only stale one.
+        assert_eq!(kv.purge_stale(1), 1);
+        assert!(kv.get(1).is_some());
+        assert!(kv.get(2).is_none());
+        assert!(kv.get(3).is_some(), "untagged fixed-engine records survive");
+        assert_eq!(kv.purge_stale(1), 0);
     }
 
     #[test]
     fn remove_works() {
         let kv = KvStore::new();
-        kv.put(1, vec!["x".into()], Outcome::ExactLeaf);
+        kv.put(1, vec!["x".into()], Outcome::ExactLeaf, 0);
         assert!(kv.remove(1));
         assert!(!kv.remove(1));
         assert!(kv.is_empty());
@@ -141,7 +187,7 @@ mod tests {
     fn spread_across_shards() {
         let kv = KvStore::new();
         for i in 0..1000u64 {
-            kv.put(i, vec![format!("kp{i}")], Outcome::ExactLeaf);
+            kv.put(i, vec![format!("kp{i}")], Outcome::ExactLeaf, 1);
         }
         assert_eq!(kv.len(), 1000);
         assert!(kv.approx_bytes() > 0);
@@ -159,7 +205,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..500u64 {
                     let key = t * 1000 + i;
-                    kv.put(key, vec![format!("{key}")], Outcome::ExactLeaf);
+                    kv.put(key, vec![format!("{key}")], Outcome::ExactLeaf, 1);
                     assert!(kv.get(key).is_some());
                 }
             }));

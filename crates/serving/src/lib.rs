@@ -30,7 +30,7 @@ pub mod kv;
 pub mod nrt;
 pub mod registry;
 
-pub use api::{ServeSource, ServeStats, Served, ServingApi};
+pub use api::{InFlightGuard, ServeSource, ServeStats, Served, ServingApi, SwapPolicy};
 pub use batch::{BatchPipeline, BatchReport};
 pub use kv::KvStore;
 pub use nrt::{ItemEvent, NrtConfig, NrtService, NrtStats};

@@ -152,7 +152,7 @@ impl NrtService {
                             .resolve_texts(true);
                         let response = model.infer_request(&request, &mut scratch);
                         if response.is_servable() {
-                            store.put(u64::from(id), response.texts, response.outcome);
+                            store.put(u64::from(id), response.texts, response.outcome, active.version);
                         }
                         scored.fetch_add(1, Ordering::Relaxed);
                     }
