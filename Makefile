@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test doc clippy bench-smoke bench bench-snapshot serve-smoke bench-http ci
+.PHONY: build test doc clippy bench-smoke bench bench-snapshot serve-smoke bench-http bench-build ci
 
 # Tier-1 gate, part 1.
 build:
@@ -43,6 +43,14 @@ bench-http:
 	$(CARGO) run --release -p graphex-bench --bin loadgen -- \
 	  --requests 4000 --connections 4 --scale cat1 \
 	  --output BENCH_http_frontend.json --date $$(date +%Y-%m-%d)
+
+# Build pipeline: sequential vs parallel vs incremental-delta builds at
+# cat1/cat2 scales, with the byte-equivalence gate built in (exit 1 if
+# pipeline or delta bytes ever diverge from the sequential builder).
+# Records the BENCH_build_pipeline.json datapoint.
+bench-build:
+	$(CARGO) run --release -p graphex-bench --bin buildbench -- \
+	  --reps 5 --output BENCH_build_pipeline.json --date $$(date +%Y-%m-%d)
 
 # The real (wall-clock) bench suite.
 bench:

@@ -1,0 +1,234 @@
+//! `buildbench` — record the `BENCH_build_pipeline.json` datapoint:
+//! sequential `GraphExBuilder` vs the sharded pipeline (1/4 workers) vs
+//! an incremental delta rebuild after one churn step, at cat1 + cat2
+//! scales.
+//!
+//! Doubles as an equivalence harness: the run **fails** (exit 1) if the
+//! pipeline or delta bytes ever diverge from the sequential builder's,
+//! or if the delta pass reconstructs every leaf (reuse never engaged).
+//!
+//! ```text
+//! cargo run --release -p graphex-bench --bin buildbench -- \
+//!     [--reps 5] [--churn-rate 0.02] [--output BENCH_build_pipeline.json] \
+//!     [--date YYYY-MM-DD]
+//! ```
+
+use graphex_core::{serialize, GraphExBuilder, GraphExConfig};
+use graphex_marketsim::{CategorySpec, ChurnCorpus};
+use graphex_pipeline::{build, BuildOutput, BuildPlan, DeltaBase, VecSource};
+use std::time::{Duration, Instant};
+
+struct Args {
+    reps: usize,
+    churn_rate: f64,
+    output: Option<String>,
+    date: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    // 0.5% churn default: at cat1/cat2 corpus sizes the paper's 2% daily
+    // rate already touches every one of the (scaled-down) leaves, which
+    // would degenerate the delta measurement into a full rebuild.
+    let mut args =
+        Args { reps: 5, churn_rate: 0.005, output: None, date: "unrecorded".into() };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = argv.get(i + 1).ok_or_else(|| format!("{} needs a value", argv[i]))?;
+        match argv[i].as_str() {
+            "--reps" => args.reps = value.parse().map_err(|_| "bad --reps")?,
+            "--churn-rate" => args.churn_rate = value.parse().map_err(|_| "bad --churn-rate")?,
+            "--output" => args.output = Some(value.clone()),
+            "--date" => args.date = value.clone(),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    args.reps = args.reps.clamp(1, 50);
+    Ok(args)
+}
+
+fn config() -> GraphExConfig {
+    let mut config = GraphExConfig::default();
+    config.curation.min_search_count = 2;
+    config
+}
+
+/// Median wall time of `reps` runs of `f`.
+fn median(reps: usize, mut f: impl FnMut()) -> Duration {
+    let mut times: Vec<Duration> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+struct ScaleResult {
+    scale: String,
+    records: u64,
+    leaves: usize,
+    sequential_ms: f64,
+    pipeline_1_ms: f64,
+    pipeline_4_ms: f64,
+    delta_ms: f64,
+    leaves_reused: usize,
+    snapshot_bytes: usize,
+}
+
+fn run_scale(name: &str, spec: CategorySpec, args: &Args) -> Result<ScaleResult, String> {
+    let dir = std::env::temp_dir().join(format!("graphex-buildbench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let snapshot = dir.join(format!("{name}.gexm"));
+
+    // Day 0 snapshot as the delta base, one churn step to "today".
+    let mut corpus = ChurnCorpus::new(spec, args.churn_rate);
+    let pipeline_build = |jobs: usize, records: Vec<_>| -> Result<BuildOutput, String> {
+        build(
+            &BuildPlan::new(config()).jobs(jobs),
+            vec![Box::new(VecSource::new("buildbench", records))],
+        )
+        .map_err(|e| e.to_string())
+    };
+    pipeline_build(1, corpus.records())?.write_to(&snapshot).map_err(|e| e.to_string())?;
+    corpus.advance();
+    let records = corpus.records();
+
+    // Equivalence gate first: sequential ≡ pipeline ≡ delta, bytewise.
+    let reference =
+        GraphExBuilder::new(config()).add_records(records.clone()).build().map_err(|e| e.to_string())?;
+    let reference_bytes = serialize::to_bytes(&reference);
+    let delta_plan = BuildPlan::new(config())
+        .jobs(4)
+        .delta(DeltaBase::load(&snapshot).map_err(|e| e.to_string())?);
+    let delta_out = build(
+        &delta_plan,
+        vec![Box::new(VecSource::new("buildbench", records.clone()))],
+    )
+    .map_err(|e| e.to_string())?;
+    for (what, bytes) in [
+        ("pipeline(4)", pipeline_build(4, records.clone())?.bytes),
+        ("delta", delta_out.bytes.clone()),
+    ] {
+        if bytes.as_ref() != reference_bytes.as_ref() {
+            return Err(format!("{name}: {what} bytes diverge from the sequential builder"));
+        }
+    }
+    if delta_out.report.leaves_reused == 0 {
+        return Err(format!("{name}: delta pass reused zero leaves — reuse never engaged"));
+    }
+
+    // Timings (median of reps).
+    let sequential_ms = ms(median(args.reps, || {
+        std::hint::black_box(
+            GraphExBuilder::new(config()).add_records(records.clone()).build().unwrap(),
+        );
+    }));
+    let pipeline_1_ms =
+        ms(median(args.reps, || {
+            std::hint::black_box(pipeline_build(1, records.clone()).unwrap());
+        }));
+    let pipeline_4_ms =
+        ms(median(args.reps, || {
+            std::hint::black_box(pipeline_build(4, records.clone()).unwrap());
+        }));
+    let delta_ms = ms(median(args.reps, || {
+        std::hint::black_box(
+            build(
+                &delta_plan,
+                vec![Box::new(VecSource::new("buildbench", records.clone()))],
+            )
+            .unwrap(),
+        );
+    }));
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(ScaleResult {
+        scale: name.into(),
+        records: delta_out.report.records_in,
+        leaves: delta_out.report.leaves_total,
+        sequential_ms,
+        pipeline_1_ms,
+        pipeline_4_ms,
+        delta_ms,
+        leaves_reused: delta_out.report.leaves_reused,
+        snapshot_bytes: delta_out.report.snapshot_bytes,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("buildbench: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut results = Vec::new();
+    for (name, spec) in [("cat2", CategorySpec::cat2()), ("cat1", CategorySpec::cat1())] {
+        match run_scale(name, spec, &args) {
+            Ok(result) => results.push(result),
+            Err(e) => {
+                eprintln!("buildbench: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let result_lines: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"scale\": \"{}\", \"records\": {}, \"leaves\": {}, \
+                 \"sequential_ms\": {:.3}, \"pipeline_1_worker_ms\": {:.3}, \
+                 \"pipeline_4_workers_ms\": {:.3}, \"delta_rebuild_ms\": {:.3}, \
+                 \"delta_leaves_reused\": {}, \"snapshot_bytes\": {} }}",
+                r.scale,
+                r.records,
+                r.leaves,
+                r.sequential_ms,
+                r.pipeline_1_ms,
+                r.pipeline_4_ms,
+                r.delta_ms,
+                r.leaves_reused,
+                r.snapshot_bytes,
+            )
+        })
+        .collect();
+    let report = format!(
+        "{{\n  \"bench\": \"build_pipeline\",\n  \"description\": \"Sequential GraphExBuilder vs \
+         the graphex-pipeline sharded build (1/4 workers) vs an incremental delta rebuild after \
+         one churn step at config.churn_rate; marketsim churn corpora (no session simulation). Gate: all three \
+         produce byte-identical GEXM v2 snapshots and the delta pass reuses at least one leaf.\",\n  \
+         \"date\": \"{}\",\n  \"machine\": {{\n    \"os\": \"{}\",\n    \"cpus_available\": {cpus},\n    \
+         \"note\": \"on a 1-CPU container the worker-count comparison is degenerate (nothing to fan \
+         out to; queue/merge plumbing even makes the pipeline slightly slower than the in-process \
+         sequential builder) — re-measure parallel speedup on real hardware; the delta-vs-full gap \
+         comes from skipping leaf construction and is the portable signal, bounded here by the \
+         meta-fallback graph, which spans the whole corpus and is rebuilt whenever any leaf \
+         changes.\"\n  }},\n  \"config\": {{\n    \
+         \"churn_rate\": {}, \"repetitions_median\": {}, \"profile\": \"release\"\n  }},\n  \
+         \"results\": [\n{}\n  ]\n}}",
+        args.date,
+        std::env::consts::OS,
+        args.churn_rate,
+        args.reps,
+        result_lines.join(",\n"),
+    );
+    println!("{report}");
+    if let Some(path) = &args.output {
+        if let Err(e) = std::fs::write(path, format!("{report}\n")) {
+            eprintln!("buildbench: write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("buildbench: wrote {path}");
+    }
+}

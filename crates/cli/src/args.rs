@@ -12,8 +12,16 @@ pub struct ParsedArgs {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] =
-    &["no-stemming", "no-fallback", "stdin", "outcome", "invalidate-on-swap", "smoke"];
+const SWITCHES: &[&str] = &[
+    "no-stemming",
+    "no-fallback",
+    "stdin",
+    "outcome",
+    "invalidate-on-swap",
+    "smoke",
+    "json",
+    "strict",
+];
 
 impl ParsedArgs {
     pub fn parse(argv: &[String]) -> Result<Self, String> {

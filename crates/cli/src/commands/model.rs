@@ -149,7 +149,41 @@ fn render_info(source: &str, info: &SnapshotInfo) -> String {
 fn inspect(args: &ParsedArgs) -> Result<String, String> {
     let (source, bytes) = snapshot_bytes(args)?;
     let info = serialize::inspect(&bytes).map_err(|e| format!("inspect {source}: {e}"))?;
-    Ok(render_info(&source, &info))
+    let mut out = render_info(&source, &info);
+    render_buildinfo_check(&source, &bytes, &mut out)?;
+    Ok(out)
+}
+
+/// Cross-checks a pipeline-built snapshot against its `BUILDINFO`: the
+/// manifest records the whole-file checksum of the snapshot it was built
+/// with, so a mismatch means the sidecar describes a *different* build
+/// (stale copy, mixed-up files) — exactly what an operator inspecting a
+/// registry wants to catch.
+fn render_buildinfo_check(source: &str, bytes: &[u8], out: &mut String) -> Result<(), String> {
+    let info_path = graphex_pipeline::buildinfo_path_for(std::path::Path::new(source));
+    if !info_path.is_file() {
+        return Ok(());
+    }
+    let manifest = graphex_pipeline::BuildManifest::load(&info_path)
+        .map_err(|e| format!("buildinfo: {e}"))?;
+    let actual = serialize::checksum(bytes);
+    if manifest.snapshot_checksum == actual {
+        let _ = writeln!(
+            out,
+            "buildinfo: checksum cross-check OK ({actual:016x}); {} leaves fingerprinted, \
+             {} records in",
+            manifest.leaves.len(),
+            manifest.records_in,
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "buildinfo MISMATCH: {} records snapshot checksum {:016x} but {source} hashes to \
+             {actual:016x} — the sidecar describes a different build",
+            info_path.display(),
+            manifest.snapshot_checksum,
+        ))
+    }
 }
 
 fn verify(args: &ParsedArgs) -> Result<String, String> {
@@ -246,6 +280,39 @@ mod tests {
         assert!(out.contains("removed versions: 1, 2"), "{out}");
         let out = run(&argv(&["gc", "--root", root_s, "--keep", "1"])).unwrap();
         assert!(out.contains("nothing to remove"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn inspect_cross_checks_pipeline_buildinfo() {
+        let dir = std::env::temp_dir()
+            .join(format!("graphex-cli-model-buildinfo-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let snapshot = dir.join("model.gexm");
+
+        let mut config = GraphExConfig::default();
+        config.curation.min_search_count = 0;
+        let records: Vec<KeyphraseRecord> = (0..6u32)
+            .map(|i| KeyphraseRecord::new(format!("acme gadget v{i}"), LeafId(i % 2), 50, 5))
+            .collect();
+        let plan = graphex_pipeline::BuildPlan::new(config).jobs(2);
+        let output = graphex_pipeline::build(
+            &plan,
+            vec![Box::new(graphex_pipeline::VecSource::new("test", records))],
+        )
+        .unwrap();
+        let info_path = output.write_to(&snapshot).unwrap();
+
+        let out = run(&argv(&["inspect", "--model", snapshot.to_str().unwrap()])).unwrap();
+        assert!(out.contains("checksum cross-check OK"), "{out}");
+
+        // A BUILDINFO describing different bytes must fail loudly.
+        let mut manifest = output.manifest.clone();
+        manifest.snapshot_checksum ^= 1;
+        std::fs::write(&info_path, manifest.render()).unwrap();
+        let err = run(&argv(&["inspect", "--model", snapshot.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("MISMATCH"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

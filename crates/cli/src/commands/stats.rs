@@ -37,9 +37,43 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
         stats.heap_bytes,
         model.size_bytes()
     );
+    if let Some(path) = args.get("model") {
+        render_buildinfo(std::path::Path::new(path), &mut out);
+    }
 
     render_leaf_table(&model, &mut out);
     Ok(out)
+}
+
+/// If the snapshot was produced by the build pipeline, its `BUILDINFO`
+/// sits next to it — surface what curation did to the corpus (the stats
+/// `build_with_stats` reports in-process, persisted for tooling).
+fn render_buildinfo(model_path: &std::path::Path, out: &mut String) {
+    let info_path = graphex_pipeline::buildinfo_path_for(model_path);
+    if !info_path.is_file() {
+        return;
+    }
+    match graphex_pipeline::BuildManifest::load(&info_path) {
+        Ok(manifest) => {
+            let c = &manifest.curation;
+            let _ = writeln!(
+                out,
+                "curation ({}): {} records in, {} parse errors → {} kept \
+                 ({} below threshold, {} token bounds, {} over leaf cap, {} duplicates merged)",
+                info_path.display(),
+                manifest.records_in,
+                manifest.parse_errors,
+                c.kept,
+                c.dropped_low_search,
+                c.dropped_token_bounds,
+                c.dropped_leaf_cap,
+                c.merged_duplicates,
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(out, "buildinfo: unreadable ({e})");
+        }
+    }
 }
 
 /// Live serving counters from a running frontend's `/statusz`.

@@ -12,9 +12,13 @@ use args::ParsedArgs;
 pub fn usage() -> &'static str {
     "usage:
   graphex simulate --preset <cat1|cat2|cat3|tiny> --output <records.tsv> [--seed N]
-  graphex build    --input <records.tsv> --output <model.gexm>
+  graphex build    (--input <f.tsv|f.ndjson[,more…]> | --marketsim <preset>)
+                   (--output <model.gexm> and/or --publish <registry root>)
+                   [--jobs N] [--delta <prev snapshot|registry root>]
                    [--min-search N] [--alignment <lta|wmr|jac>]
-                   [--no-stemming] [--no-fallback]
+                   [--no-stemming] [--no-fallback] [--strict] [--json]
+                   [--note <text>] [--batch N]
+                   [--seed N] [--generations N] [--churn-rate R]
   graphex infer    --model <model.gexm> --leaf <id> (--title <text> | --stdin)
                    [--k N] [--alignment <lta|wmr|jac>] [--outcome]
   graphex explain  --model <model.gexm> --leaf <id> --title <text> [--k N]
@@ -99,6 +103,8 @@ mod tests {
 
         let stats = dispatch(&argv(&["stats", "--model", model.to_str().unwrap()])).unwrap();
         assert!(stats.contains("leaves"));
+        // The pipeline-written BUILDINFO sidecar surfaces curation stats.
+        assert!(stats.contains("curation ("), "{stats}");
 
         // Find a leaf + phrase to test inference with, straight from the TSV.
         let tsv = std::fs::read_to_string(&records).unwrap();

@@ -1,50 +1,17 @@
-//! Record TSV I/O: `text<TAB>leaf_id<TAB>search_count<TAB>recall_count`.
+//! Record TSV output: `text<TAB>leaf_id<TAB>search_count<TAB>recall_count`.
+//!
+//! Reading lives in the build pipeline (`graphex_pipeline::source`,
+//! streaming with per-source error accounting) — the TSV grammar exists
+//! exactly once; [`parse_line`] re-exports it for CLI callers.
 
-use graphex_core::{KeyphraseRecord, LeafId};
-use std::io::{BufRead, BufWriter, Write};
+use graphex_core::KeyphraseRecord;
+use std::io::{BufWriter, Write};
 use std::path::Path;
 
-/// Reads keyphrase records from a TSV file. Empty lines and `#` comments
-/// are skipped; malformed lines fail with their line number.
-pub fn read_tsv(path: impl AsRef<Path>) -> Result<Vec<KeyphraseRecord>, String> {
-    let file = std::fs::File::open(&path)
-        .map_err(|e| format!("open {}: {e}", path.as_ref().display()))?;
-    let reader = std::io::BufReader::new(file);
-    let mut records = Vec::new();
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line.map_err(|e| format!("read error at line {}: {e}", lineno + 1))?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        records.push(parse_line(trimmed).map_err(|e| format!("line {}: {e}", lineno + 1))?);
-    }
-    Ok(records)
-}
-
-/// Parses one TSV line.
+/// Parses one TSV record line (the single source of truth is
+/// [`graphex_pipeline::source::parse_tsv_line`]).
 pub fn parse_line(line: &str) -> Result<KeyphraseRecord, String> {
-    let mut cols = line.split('\t');
-    let text = cols.next().filter(|t| !t.is_empty()).ok_or("empty keyphrase text")?;
-    let leaf: u32 = cols
-        .next()
-        .ok_or("missing leaf id")?
-        .parse()
-        .map_err(|_| "leaf id is not a number".to_string())?;
-    let search: u32 = cols
-        .next()
-        .ok_or("missing search count")?
-        .parse()
-        .map_err(|_| "search count is not a number".to_string())?;
-    let recall: u32 = cols
-        .next()
-        .ok_or("missing recall count")?
-        .parse()
-        .map_err(|_| "recall count is not a number".to_string())?;
-    if cols.next().is_some() {
-        return Err("too many columns".into());
-    }
-    Ok(KeyphraseRecord::new(text, LeafId(leaf), search, recall))
+    graphex_pipeline::source::parse_tsv_line(line)
 }
 
 /// Writes records to a TSV file (buffered).
@@ -62,6 +29,8 @@ pub fn write_tsv(path: impl AsRef<Path>, records: &[KeyphraseRecord]) -> Result<
 #[cfg(test)]
 mod tests {
     use super::*;
+    use graphex_core::LeafId;
+    use graphex_pipeline::{RecordSource, TsvFileSource};
 
     #[test]
     fn parse_valid_line() {
@@ -81,7 +50,7 @@ mod tests {
     }
 
     #[test]
-    fn tsv_roundtrip() {
+    fn tsv_roundtrip_through_pipeline_source() {
         let dir = std::env::temp_dir().join(format!("graphex-records-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("r.tsv");
@@ -90,25 +59,10 @@ mod tests {
             KeyphraseRecord::new("c d e", LeafId(2), 30, 4),
         ];
         write_tsv(&path, &records).unwrap();
-        let back = read_tsv(&path).unwrap();
+        let mut source = TsvFileSource::open(&path).unwrap();
+        let mut back = Vec::new();
+        source.next_batch(16, &mut back).unwrap();
         assert_eq!(back, records);
         std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn comments_and_blanks_skipped() {
-        let dir = std::env::temp_dir().join(format!("graphex-records2-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("r.tsv");
-        std::fs::write(&path, "# header\n\nx y\t1\t5\t6\n").unwrap();
-        let records = read_tsv(&path).unwrap();
-        assert_eq!(records.len(), 1);
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn missing_file_reports_path() {
-        let err = read_tsv("/nonexistent/gx.tsv").unwrap_err();
-        assert!(err.contains("/nonexistent/gx.tsv"));
     }
 }

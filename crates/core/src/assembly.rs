@@ -1,0 +1,563 @@
+//! Deterministic per-leaf assembly + merge: the building blocks behind
+//! both [`crate::GraphExBuilder`] and the `graphex-pipeline` crate's
+//! parallel / incremental builds.
+//!
+//! Construction is decomposed into three order-insensitive stages so that
+//! sequential, parallel-sharded, and delta builds all produce **the same
+//! bytes** for the same curated record multiset:
+//!
+//! 1. **Canonicalize** ([`canonicalize`]): sort curated records by
+//!    `(leaf, text, search, recall)`. Curation output is a function of the
+//!    record multiset (per-record filters, commutative duplicate merge),
+//!    so after this sort the whole build is independent of arrival order.
+//! 2. **Assemble** ([`LeafAssembly::build`]): build one leaf graph against
+//!    *leaf-local* vocabularies. Because a fresh vocabulary assigns ids in
+//!    first-occurrence order, the local token ids coincide with CSR row
+//!    indices and the local keyphrase ids with label indices — which is
+//!    what lets [`LeafAssembly::from_model`] recover the exact assembly
+//!    of an unchanged leaf from a previous snapshot (delta builds).
+//! 3. **Merge** ([`ModelAssembler`]): fold assemblies into the global
+//!    model in ascending-leaf order, re-interning each local vocabulary
+//!    into the global ones. Interning a leaf's local vocabulary in local
+//!    id order reproduces exactly the global first-occurrence order a
+//!    single sequential pass over the canonical record stream would have
+//!    produced, so the merged model — and its `GEXM v2` serialization —
+//!    is byte-identical no matter how stages 2 ran (1 thread or N).
+//!
+//! [`leaf_fingerprint`] / [`config_fingerprint`] are the content hashes
+//! delta builds store in their build manifest to decide which leaves can
+//! be borrowed from the previous snapshot.
+
+use crate::builder::GraphExConfig;
+use crate::leaf_graph::LeafGraph;
+use crate::model::GraphExModel;
+use crate::types::{KeyphraseRecord, LeafId};
+use graphex_textkit::{FxHashMap, Tokenizer, Vocab};
+
+/// Sorts curated records into the canonical build order:
+/// `(leaf, text, search, recall)` ascending.
+///
+/// After curation, `(leaf, text)` is unique, so this is a total order and
+/// the sorted sequence is a pure function of the record multiset.
+pub fn canonicalize(records: &mut [KeyphraseRecord]) {
+    records.sort_unstable_by(|a, b| {
+        (a.leaf, &a.text, a.search_count, a.recall_count).cmp(&(
+            b.leaf,
+            &b.text,
+            b.search_count,
+            b.recall_count,
+        ))
+    });
+}
+
+/// FNV-1a content fingerprint of one leaf's curated records.
+///
+/// The slice must be in canonical order ([`canonicalize`]) — callers hash
+/// the per-leaf runs of the canonicalized stream, so equal record
+/// multisets hash equally regardless of how they were ingested.
+pub fn leaf_fingerprint(records: &[KeyphraseRecord]) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(records.len() as u64);
+    for rec in records {
+        h.bytes(rec.text.as_bytes());
+        h.u32(rec.leaf.0);
+        h.u32(rec.search_count);
+        h.u32(rec.recall_count);
+    }
+    h.finish()
+}
+
+/// Fingerprint of everything in the configuration that affects the built
+/// bytes. A delta build may only borrow leaves from a previous snapshot
+/// whose manifest recorded the same config fingerprint.
+pub fn config_fingerprint(config: &GraphExConfig) -> u64 {
+    let mut h = Fnv::new();
+    h.u32(config.curation.min_search_count);
+    h.u64(config.curation.min_tokens as u64);
+    h.u64(config.curation.max_tokens as u64);
+    match config.curation.max_per_leaf {
+        None => h.u64(u64::MAX),
+        Some(cap) => h.u64(cap as u64),
+    }
+    h.u32(match config.alignment {
+        crate::Alignment::Lta => 0,
+        crate::Alignment::Wmr => 1,
+        crate::Alignment::Jac => 2,
+    });
+    h.u32(u32::from(config.stemming));
+    h.u32(u32::from(config.build_meta_fallback));
+    h.finish()
+}
+
+/// Folds per-leaf fingerprints (in ascending-leaf order) into one value —
+/// the fingerprint of the whole curated corpus, which is what the meta
+/// fallback graph depends on.
+pub fn combine_fingerprints(fingerprints: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = Fnv::new();
+    for fp in fingerprints {
+        h.u64(fp);
+    }
+    h.finish()
+}
+
+/// Streaming FNV-1a hasher (same function as the GEXM trailer checksum).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, data: &[u8]) {
+        for &b in data {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Tokenizers + scratch buffers shared across [`LeafAssembly::build`]
+/// calls. One per build thread.
+#[derive(Debug)]
+pub struct AssemblyContext {
+    /// Stemmed (per config) tokenizer: graph-token identity.
+    tokenizer: Tokenizer,
+    /// Unstemmed tokenizer: keyphrase *text* identity — recommendations
+    /// must be exact-match biddable queries while graph tokens are
+    /// stemmed for match reach.
+    text_normalizer: Tokenizer,
+    token_buf: Vec<String>,
+    text_buf: Vec<String>,
+}
+
+impl AssemblyContext {
+    pub fn new(stemming: bool) -> Self {
+        Self {
+            tokenizer: GraphExModel::make_tokenizer(stemming),
+            text_normalizer: GraphExModel::make_tokenizer(false),
+            token_buf: Vec::new(),
+            text_buf: Vec::new(),
+        }
+    }
+}
+
+/// One leaf graph built against leaf-local vocabularies: the unit of
+/// parallel construction and of delta reuse.
+///
+/// Invariant: `graph.row_tokens()` and `graph.labels()` are the identity
+/// over the local vocabularies (`row_tokens[i] == i`, `labels[j] == j`),
+/// because a fresh vocabulary assigns ids in first-occurrence order —
+/// the same order rows and labels are created in.
+#[derive(Debug, Clone)]
+pub struct LeafAssembly {
+    tokens: Vocab,
+    keyphrases: Vocab,
+    graph: LeafGraph,
+}
+
+impl LeafAssembly {
+    /// Builds one leaf's assembly from its curated records (canonical
+    /// order). Records whose normalized text collides are merged (sum
+    /// search, max recall), mirroring curation's duplicate policy.
+    pub fn build(records: &[KeyphraseRecord], ctx: &mut AssemblyContext) -> Self {
+        let mut tokens = Vocab::new();
+        let mut keyphrases = Vocab::new();
+
+        // local structures
+        let mut local_rows: FxHashMap<u32, u32> = FxHashMap::default(); // local token -> row
+        let mut row_tokens: Vec<u32> = Vec::new();
+        let mut label_index: FxHashMap<u32, u32> = FxHashMap::default(); // local kp id -> label
+        let mut labels: Vec<u32> = Vec::new();
+        let mut label_len: Vec<u16> = Vec::new();
+        let mut search: Vec<u32> = Vec::new();
+        let mut recall: Vec<u32> = Vec::new();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+
+        for rec in records {
+            // Normalized text identity.
+            ctx.text_normalizer.tokenize_into(&rec.text, &mut ctx.text_buf);
+            if ctx.text_buf.is_empty() {
+                continue; // punctuation-only keyphrase: nothing to match on
+            }
+            let normalized = ctx.text_buf.join(" ");
+            let kp_id = keyphrases.intern(&normalized);
+
+            // Stemmed distinct graph tokens.
+            ctx.tokenizer.tokenize_into(&rec.text, &mut ctx.token_buf);
+            ctx.token_buf.sort_unstable();
+            ctx.token_buf.dedup();
+            debug_assert!(!ctx.token_buf.is_empty());
+
+            let local_label = match label_index.entry(kp_id) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let l = *e.get();
+                    // duplicate within leaf after normalization: merge counts
+                    search[l as usize] = search[l as usize].saturating_add(rec.search_count);
+                    recall[l as usize] = recall[l as usize].max(rec.recall_count);
+                    continue;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let l = labels.len() as u32;
+                    e.insert(l);
+                    labels.push(kp_id);
+                    label_len.push(ctx.token_buf.len().min(u16::MAX as usize) as u16);
+                    search.push(rec.search_count);
+                    recall.push(rec.recall_count);
+                    l
+                }
+            };
+
+            for tok in ctx.token_buf.iter() {
+                let local = tokens.intern(tok);
+                let row = match local_rows.entry(local) {
+                    std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let row = row_tokens.len() as u32;
+                        e.insert(row);
+                        row_tokens.push(local);
+                        row
+                    }
+                };
+                edges.push((row, local_label));
+            }
+        }
+
+        let graph = LeafGraph::new(row_tokens, edges, labels, label_len, search, recall);
+        Self { tokens, keyphrases, graph }
+    }
+
+    /// Recovers the assembly of one leaf from an already-built model —
+    /// the delta-build borrow path.
+    ///
+    /// Exact by the identity invariant: a leaf graph's row order *is* its
+    /// local token first-occurrence order and its label order its local
+    /// keyphrase first-occurrence order, so re-localizing the global ids
+    /// reproduces precisely what [`LeafAssembly::build`] over the same
+    /// records would have produced. Returns `None` for an unknown leaf.
+    pub fn from_model(model: &GraphExModel, leaf: LeafId) -> Option<Self> {
+        model.leaf_graph(leaf).map(|g| Self::relocalize(g, model))
+    }
+
+    /// [`LeafAssembly::from_model`] for the meta-fallback graph.
+    pub fn from_model_fallback(model: &GraphExModel) -> Option<Self> {
+        model.fallback_graph().map(|g| Self::relocalize(g, model))
+    }
+
+    fn relocalize(graph: &LeafGraph, model: &GraphExModel) -> Self {
+        let mut tokens = Vocab::with_capacity(graph.row_tokens().len());
+        for &tok in graph.row_tokens() {
+            let text = model.tokens.resolve(tok).expect("model token id resolves");
+            let local = tokens.intern(text);
+            debug_assert_eq!(local as usize + 1, tokens.len());
+        }
+        let mut keyphrases = Vocab::with_capacity(graph.labels().len());
+        for &kp in graph.labels() {
+            let text = model.keyphrases.resolve(kp).expect("model keyphrase id resolves");
+            let local = keyphrases.intern(text);
+            debug_assert_eq!(local as usize + 1, keyphrases.len());
+        }
+        let identity_rows: Vec<u32> = (0..graph.row_tokens().len() as u32).collect();
+        let identity_labels: Vec<u32> = (0..graph.labels().len() as u32).collect();
+        let graph = graph.with_ids(identity_rows, identity_labels);
+        Self { tokens, keyphrases, graph }
+    }
+
+    /// Number of labels (keyphrases) in this leaf.
+    pub fn num_labels(&self) -> u32 {
+        self.graph.num_labels()
+    }
+
+    /// Number of distinct words in this leaf.
+    pub fn num_words(&self) -> u32 {
+        self.graph.num_words()
+    }
+}
+
+/// Folds [`LeafAssembly`]s into a [`GraphExModel`], re-interning local
+/// vocabularies into the global ones.
+///
+/// Leaves must be added in **ascending leaf-id order** (asserted): that
+/// order is what pins the global vocabulary layout, and it matches both
+/// the canonical sequential pass and the `GEXM` leaf table order.
+#[derive(Debug)]
+pub struct ModelAssembler {
+    tokens: Vocab,
+    keyphrases: Vocab,
+    leaves: FxHashMap<LeafId, LeafGraph>,
+    fallback: Option<Box<LeafGraph>>,
+    alignment: crate::Alignment,
+    stemming: bool,
+    last_leaf: Option<LeafId>,
+    /// Remap scratch, reused across leaves.
+    tok_map: Vec<u32>,
+    kp_map: Vec<u32>,
+}
+
+impl ModelAssembler {
+    pub fn new(config: &GraphExConfig) -> Self {
+        Self {
+            tokens: Vocab::new(),
+            keyphrases: Vocab::new(),
+            leaves: FxHashMap::default(),
+            fallback: None,
+            alignment: config.alignment,
+            stemming: config.stemming,
+            last_leaf: None,
+            tok_map: Vec::new(),
+            kp_map: Vec::new(),
+        }
+    }
+
+    /// Re-interns `assembly` into the global vocabularies and installs
+    /// its graph under `leaf`.
+    ///
+    /// # Panics
+    /// Panics if `leaf` is not strictly greater than the previously added
+    /// leaf — out-of-order merges would silently produce a different
+    /// (but still valid-looking) vocabulary layout.
+    pub fn add_leaf(&mut self, leaf: LeafId, assembly: &LeafAssembly) {
+        assert!(
+            self.last_leaf.map_or(true, |prev| prev < leaf),
+            "leaves must merge in ascending order ({:?} after {:?})",
+            leaf,
+            self.last_leaf
+        );
+        self.last_leaf = Some(leaf);
+        let graph = self.globalize(assembly);
+        self.leaves.insert(leaf, graph);
+    }
+
+    /// Re-interns the meta-fallback assembly. Call after every leaf (the
+    /// sequential pass builds the fallback last; keeping that order makes
+    /// the merge reproduce its vocabulary layout exactly — in practice
+    /// the fallback introduces no new strings, but the order is part of
+    /// the determinism contract).
+    pub fn set_fallback(&mut self, assembly: &LeafAssembly) {
+        let graph = self.globalize(assembly);
+        self.fallback = Some(Box::new(graph));
+    }
+
+    fn globalize(&mut self, assembly: &LeafAssembly) -> LeafGraph {
+        self.tok_map.clear();
+        self.tok_map.extend(assembly.tokens.iter().map(|(_, s)| self.tokens.intern(s)));
+        self.kp_map.clear();
+        self.kp_map.extend(assembly.keyphrases.iter().map(|(_, s)| self.keyphrases.intern(s)));
+        let row_tokens: Vec<u32> =
+            assembly.graph.row_tokens().iter().map(|&t| self.tok_map[t as usize]).collect();
+        let labels: Vec<u32> =
+            assembly.graph.labels().iter().map(|&l| self.kp_map[l as usize]).collect();
+        assembly.graph.with_ids(row_tokens, labels)
+    }
+
+    /// The assembled model.
+    pub fn finish(self) -> GraphExModel {
+        GraphExModel {
+            tokenizer: GraphExModel::make_tokenizer(self.stemming),
+            tokens: self.tokens,
+            keyphrases: self.keyphrases,
+            leaves: self.leaves,
+            fallback: self.fallback,
+            alignment: self.alignment,
+            stemming: self.stemming,
+        }
+    }
+}
+
+/// Splits a canonical-sorted curated slice into its consecutive per-leaf
+/// runs.
+pub fn leaf_runs(sorted: &[KeyphraseRecord]) -> impl Iterator<Item = (LeafId, &[KeyphraseRecord])> {
+    LeafRuns { rest: sorted }
+}
+
+struct LeafRuns<'a> {
+    rest: &'a [KeyphraseRecord],
+}
+
+impl<'a> Iterator for LeafRuns<'a> {
+    type Item = (LeafId, &'a [KeyphraseRecord]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let leaf = self.rest.first()?.leaf;
+        let end = self.rest.partition_point(|r| r.leaf <= leaf);
+        let (run, rest) = self.rest.split_at(end);
+        self.rest = rest;
+        Some((leaf, run))
+    }
+}
+
+/// Assembles a model from canonical-sorted curated records: the shared
+/// sequential reference path ([`crate::GraphExBuilder`] calls this; the
+/// pipeline's parallel build must produce byte-identical output).
+pub fn assemble_model(config: &GraphExConfig, curated_sorted: &[KeyphraseRecord]) -> GraphExModel {
+    debug_assert!(
+        curated_sorted.windows(2).all(|w| {
+            (w[0].leaf, &w[0].text, w[0].search_count) <= (w[1].leaf, &w[1].text, w[1].search_count)
+        }),
+        "records must be canonicalized"
+    );
+    let mut ctx = AssemblyContext::new(config.stemming);
+    let mut assembler = ModelAssembler::new(config);
+    for (leaf, run) in leaf_runs(curated_sorted) {
+        let assembly = LeafAssembly::build(run, &mut ctx);
+        assembler.add_leaf(leaf, &assembly);
+    }
+    if config.build_meta_fallback {
+        assembler.set_fallback(&LeafAssembly::build(curated_sorted, &mut ctx));
+    }
+    assembler.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphExBuilder;
+    use crate::curation::curate;
+    use crate::serialize;
+
+    fn rec(text: &str, leaf: u32, s: u32, r: u32) -> KeyphraseRecord {
+        KeyphraseRecord::new(text, LeafId(leaf), s, r)
+    }
+
+    fn corpus() -> Vec<KeyphraseRecord> {
+        let mut out = Vec::new();
+        for i in 0..40u32 {
+            out.push(rec(&format!("brand{} widget kind{}", i % 7, i % 5), 100 + i % 4, 50 + i, i));
+            out.push(rec(&format!("widget accessory v{i}"), 100 + i % 3, 200 + i, 2 * i));
+        }
+        // duplicates + a punctuation-only phrase
+        out.push(rec("brand1 widget kind1", 101, 9, 9));
+        out.push(rec("!!!", 102, 500, 1));
+        out
+    }
+
+    fn no_curation() -> GraphExConfig {
+        let mut c = GraphExConfig::default();
+        c.curation.min_search_count = 0;
+        c
+    }
+
+    #[test]
+    fn build_is_input_order_independent() {
+        let config = no_curation();
+        let forward = GraphExBuilder::new(config.clone()).add_records(corpus()).build().unwrap();
+        let mut reversed = corpus();
+        reversed.reverse();
+        let backward = GraphExBuilder::new(config).add_records(reversed).build().unwrap();
+        assert_eq!(
+            serialize::to_bytes(&forward),
+            serialize::to_bytes(&backward),
+            "canonicalized build must not depend on record arrival order"
+        );
+    }
+
+    #[test]
+    fn merge_of_assemblies_matches_builder() {
+        let config = no_curation();
+        let (mut curated, _) = curate(corpus(), &config.curation);
+        canonicalize(&mut curated);
+        let merged = assemble_model(&config, &curated);
+        let reference = GraphExBuilder::new(config).add_records(corpus()).build().unwrap();
+        assert_eq!(serialize::to_bytes(&merged), serialize::to_bytes(&reference));
+    }
+
+    #[test]
+    fn relocalized_assembly_reproduces_bytes() {
+        // Build → serialize → load (zero-copy) → relocalize every leaf +
+        // fallback → re-merge: the delta-borrow path must reproduce the
+        // exact bytes of a from-records build.
+        let config = no_curation();
+        let model = GraphExBuilder::new(config.clone()).add_records(corpus()).build().unwrap();
+        let bytes = serialize::to_bytes(&model);
+        let loaded = serialize::from_shared(bytes.clone()).unwrap();
+
+        let mut leaves: Vec<LeafId> = loaded.leaf_ids().collect();
+        leaves.sort_unstable();
+        let mut assembler = ModelAssembler::new(&config);
+        for leaf in leaves {
+            let assembly = LeafAssembly::from_model(&loaded, leaf).unwrap();
+            assembler.add_leaf(leaf, &assembly);
+        }
+        assembler.set_fallback(&LeafAssembly::from_model_fallback(&loaded).unwrap());
+        let rebuilt = assembler.finish();
+        assert_eq!(serialize::to_bytes(&rebuilt), bytes);
+    }
+
+    #[test]
+    fn mixed_fresh_and_borrowed_leaves_merge_identically() {
+        let config = no_curation();
+        let (mut curated, _) = curate(corpus(), &config.curation);
+        canonicalize(&mut curated);
+        let reference = assemble_model(&config, &curated);
+        let loaded = serialize::from_shared(serialize::to_bytes(&reference)).unwrap();
+
+        // Rebuild even leaves from records, borrow odd leaves from the
+        // previous model; the result must be byte-identical either way.
+        let mut ctx = AssemblyContext::new(config.stemming);
+        let mut assembler = ModelAssembler::new(&config);
+        for (i, (leaf, run)) in leaf_runs(&curated).enumerate() {
+            let assembly = if i % 2 == 0 {
+                LeafAssembly::build(run, &mut ctx)
+            } else {
+                LeafAssembly::from_model(&loaded, leaf).unwrap()
+            };
+            assembler.add_leaf(leaf, &assembly);
+        }
+        assembler.set_fallback(&LeafAssembly::from_model_fallback(&loaded).unwrap());
+        let mixed = assembler.finish();
+        assert_eq!(serialize::to_bytes(&mixed), serialize::to_bytes(&reference));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending order")]
+    fn out_of_order_merge_panics() {
+        let config = no_curation();
+        let mut ctx = AssemblyContext::new(true);
+        let a = LeafAssembly::build(&[rec("a b", 1, 10, 1)], &mut ctx);
+        let mut assembler = ModelAssembler::new(&config);
+        assembler.add_leaf(LeafId(2), &a);
+        assembler.add_leaf(LeafId(1), &a);
+    }
+
+    #[test]
+    fn fingerprints_are_content_hashes() {
+        let a = vec![rec("a b", 1, 10, 1), rec("c d", 1, 20, 2)];
+        let mut b = a.clone();
+        assert_eq!(leaf_fingerprint(&a), leaf_fingerprint(&b));
+        b[1].search_count += 1;
+        assert_ne!(leaf_fingerprint(&a), leaf_fingerprint(&b));
+        assert_ne!(leaf_fingerprint(&a), leaf_fingerprint(&a[..1]));
+
+        let c1 = GraphExConfig::default();
+        let mut c2 = GraphExConfig::default();
+        assert_eq!(config_fingerprint(&c1), config_fingerprint(&c2));
+        c2.curation.min_search_count += 1;
+        assert_ne!(config_fingerprint(&c1), config_fingerprint(&c2));
+        let c3 = GraphExConfig { stemming: false, ..GraphExConfig::default() };
+        assert_ne!(config_fingerprint(&c1), config_fingerprint(&c3));
+
+        assert_ne!(combine_fingerprints([1, 2]), combine_fingerprints([2, 1]));
+    }
+
+    #[test]
+    fn leaf_runs_splits_consecutive_groups() {
+        let mut records =
+            vec![rec("x", 3, 1, 1), rec("y", 1, 1, 1), rec("z", 3, 1, 1), rec("w", 2, 1, 1)];
+        canonicalize(&mut records);
+        let runs: Vec<(LeafId, usize)> =
+            leaf_runs(&records).map(|(leaf, run)| (leaf, run.len())).collect();
+        assert_eq!(runs, [(LeafId(1), 1), (LeafId(2), 1), (LeafId(3), 2)]);
+        assert!(leaf_runs(&[]).next().is_none());
+    }
+}

@@ -6,12 +6,11 @@
 //! GraphEx refresh daily ("completes in under 1 minute", Sec. IV-G).
 
 use crate::alignment::Alignment;
+use crate::assembly::{assemble_model, canonicalize};
 use crate::curation::{curate, CurationConfig, CurationStats};
 use crate::error::{GraphExError, Result};
-use crate::leaf_graph::LeafGraph;
 use crate::model::GraphExModel;
-use crate::types::{KeyphraseRecord, LeafId};
-use graphex_textkit::{FxHashMap, Vocab};
+use crate::types::KeyphraseRecord;
 
 /// Model construction options.
 #[derive(Debug, Clone)]
@@ -89,150 +88,25 @@ impl GraphExBuilder {
 
     /// Builds the model and reports what curation did.
     ///
+    /// Construction is canonical: curated records are sorted into the
+    /// [`crate::assembly::canonicalize`] order before assembly, so the
+    /// resulting model — and its serialized bytes — depend only on the
+    /// record *multiset*, never on arrival order. The parallel build
+    /// pipeline (`graphex-pipeline`) is pinned byte-identical to this
+    /// sequential reference.
+    ///
     /// Fails with [`GraphExError::EmptyModel`] if nothing survives curation
     /// (e.g. threshold too strict for a small category — the situation the
     /// paper hit with CAT 3).
     pub fn build_with_stats(self) -> Result<(GraphExModel, CurationStats)> {
         let GraphExBuilder { config, records } = self;
-        let (curated, stats) = curate(records, &config.curation);
+        let (mut curated, stats) = curate(records, &config.curation);
         if curated.is_empty() {
             return Err(GraphExError::EmptyModel);
         }
-
-        let tokenizer = GraphExModel::make_tokenizer(config.stemming);
-        // Keyphrase *text* identity is the normalized-but-unstemmed form:
-        // recommendations must be exact-match biddable queries, while graph
-        // tokens are stemmed for match reach.
-        let text_normalizer = GraphExModel::make_tokenizer(false);
-
-        let mut tokens = Vocab::new();
-        let mut keyphrases = Vocab::new();
-
-        // Group curated rows by leaf.
-        let mut by_leaf: FxHashMap<LeafId, Vec<&KeyphraseRecord>> = FxHashMap::default();
-        for rec in &curated {
-            by_leaf.entry(rec.leaf).or_default().push(rec);
-        }
-
-        let mut leaves: FxHashMap<LeafId, LeafGraph> =
-            FxHashMap::with_capacity_and_hasher(by_leaf.len(), Default::default());
-        let mut token_buf: Vec<String> = Vec::new();
-        let mut text_buf: Vec<String> = Vec::new();
-
-        for (leaf, recs) in &by_leaf {
-            let graph = build_leaf(
-                recs.iter().copied(),
-                &tokenizer,
-                &text_normalizer,
-                &mut tokens,
-                &mut keyphrases,
-                &mut token_buf,
-                &mut text_buf,
-            );
-            leaves.insert(*leaf, graph);
-        }
-
-        let fallback = if config.build_meta_fallback {
-            Some(Box::new(build_leaf(
-                curated.iter(),
-                &tokenizer,
-                &text_normalizer,
-                &mut tokens,
-                &mut keyphrases,
-                &mut token_buf,
-                &mut text_buf,
-            )))
-        } else {
-            None
-        };
-
-        Ok((
-            GraphExModel {
-                tokens,
-                keyphrases,
-                leaves,
-                fallback,
-                alignment: config.alignment,
-                stemming: config.stemming,
-                tokenizer,
-            },
-            stats,
-        ))
+        canonicalize(&mut curated);
+        Ok((assemble_model(&config, &curated), stats))
     }
-}
-
-/// Builds one leaf graph from that leaf's records, interning into the global
-/// vocabularies. Records whose normalized text collides are merged (sum
-/// search, max recall), mirroring curation's duplicate policy.
-fn build_leaf<'a>(
-    recs: impl Iterator<Item = &'a KeyphraseRecord>,
-    tokenizer: &graphex_textkit::Tokenizer,
-    text_normalizer: &graphex_textkit::Tokenizer,
-    tokens: &mut Vocab,
-    keyphrases: &mut Vocab,
-    token_buf: &mut Vec<String>,
-    text_buf: &mut Vec<String>,
-) -> LeafGraph {
-    // local structures
-    let mut local_rows: FxHashMap<u32, u32> = FxHashMap::default(); // global token -> row
-    let mut row_tokens: Vec<u32> = Vec::new();
-    let mut label_index: FxHashMap<u32, u32> = FxHashMap::default(); // global kp id -> local label
-    let mut labels: Vec<u32> = Vec::new();
-    let mut label_len: Vec<u16> = Vec::new();
-    let mut search: Vec<u32> = Vec::new();
-    let mut recall: Vec<u32> = Vec::new();
-    let mut edges: Vec<(u32, u32)> = Vec::new();
-
-    for rec in recs {
-        // Normalized text identity.
-        text_normalizer.tokenize_into(&rec.text, text_buf);
-        if text_buf.is_empty() {
-            continue; // punctuation-only keyphrase: nothing to match on
-        }
-        let normalized = text_buf.join(" ");
-        let kp_id = keyphrases.intern(&normalized);
-
-        // Stemmed distinct graph tokens.
-        tokenizer.tokenize_into(&rec.text, token_buf);
-        token_buf.sort_unstable();
-        token_buf.dedup();
-        debug_assert!(!token_buf.is_empty());
-
-        let local_label = match label_index.entry(kp_id) {
-            std::collections::hash_map::Entry::Occupied(e) => {
-                let l = *e.get();
-                // duplicate within leaf after normalization: merge counts
-                search[l as usize] = search[l as usize].saturating_add(rec.search_count);
-                recall[l as usize] = recall[l as usize].max(rec.recall_count);
-                continue;
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                let l = labels.len() as u32;
-                e.insert(l);
-                labels.push(kp_id);
-                label_len.push(token_buf.len().min(u16::MAX as usize) as u16);
-                search.push(rec.search_count);
-                recall.push(rec.recall_count);
-                l
-            }
-        };
-
-        for tok in token_buf.iter() {
-            let global = tokens.intern(tok);
-            let row = match local_rows.entry(global) {
-                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    let row = row_tokens.len() as u32;
-                    e.insert(row);
-                    row_tokens.push(global);
-                    row
-                }
-            };
-            edges.push((row, local_label));
-        }
-    }
-
-    LeafGraph::new(row_tokens, edges, labels, label_len, search, recall)
 }
 
 #[cfg(test)]
@@ -240,6 +114,7 @@ mod tests {
     use super::*;
     use crate::inference::InferenceParams;
     use crate::inference::Scratch;
+    use crate::types::LeafId;
 
     fn rec(text: &str, leaf: u32, s: u32, r: u32) -> KeyphraseRecord {
         KeyphraseRecord::new(text, LeafId(leaf), s, r)

@@ -52,6 +52,22 @@ pub struct CurationStats {
     pub merged_duplicates: usize,
 }
 
+impl CurationStats {
+    /// Folds another stats record into this one. Curation decisions are
+    /// per-record and per-`(leaf, text)` group, so summing the stats of
+    /// leaf-disjoint shards yields exactly the stats a single global
+    /// curation pass would have produced (the build pipeline relies on
+    /// this to aggregate per-shard [`Curator`]s).
+    pub fn absorb(&mut self, other: &CurationStats) {
+        self.input += other.input;
+        self.kept += other.kept;
+        self.dropped_low_search += other.dropped_low_search;
+        self.dropped_token_bounds += other.dropped_token_bounds;
+        self.dropped_leaf_cap += other.dropped_leaf_cap;
+        self.merged_duplicates += other.merged_duplicates;
+    }
+}
+
 /// Applies [`CurationConfig`] to raw records.
 ///
 /// Token counting uses a simple whitespace split of the *raw* text — exact
@@ -63,65 +79,109 @@ pub fn curate(
     records: impl IntoIterator<Item = KeyphraseRecord>,
     config: &CurationConfig,
 ) -> (Vec<KeyphraseRecord>, CurationStats) {
-    let mut stats = CurationStats::default();
-    // (leaf, text) -> index into kept
-    let mut index: std::collections::HashMap<(u32, String), usize> = std::collections::HashMap::new();
-    let mut kept: Vec<KeyphraseRecord> = Vec::new();
-
+    let mut curator = Curator::new(config.clone());
     for rec in records {
-        stats.input += 1;
+        curator.push(rec);
+    }
+    curator.finish()
+}
+
+/// Streaming form of [`curate`]: push records one at a time, then
+/// [`Curator::finish`].
+///
+/// Curation decisions are per-record (threshold/token bounds) and
+/// per-`(leaf, text)` group (duplicate merge) and the per-leaf cap is —
+/// by definition — per leaf, so the result is a function of the record
+/// *multiset*, not the arrival order, and curating leaf-disjoint shards
+/// independently is exactly equivalent to one global pass. The build
+/// pipeline runs one `Curator` per shard worker on that guarantee.
+#[derive(Debug)]
+pub struct Curator {
+    config: CurationConfig,
+    stats: CurationStats,
+    /// (leaf, text) -> index into kept
+    index: std::collections::HashMap<(u32, String), usize>,
+    kept: Vec<KeyphraseRecord>,
+}
+
+impl Curator {
+    pub fn new(config: CurationConfig) -> Self {
+        Self {
+            config,
+            stats: CurationStats::default(),
+            index: std::collections::HashMap::new(),
+            kept: Vec::new(),
+        }
+    }
+
+    /// Applies the per-record filters and duplicate merge to one row.
+    pub fn push(&mut self, rec: KeyphraseRecord) {
+        self.stats.input += 1;
         let ntokens = rec.text.split_whitespace().count();
-        if ntokens < config.min_tokens || ntokens > config.max_tokens {
-            stats.dropped_token_bounds += 1;
-            continue;
+        if ntokens < self.config.min_tokens || ntokens > self.config.max_tokens {
+            self.stats.dropped_token_bounds += 1;
+            return;
         }
-        if rec.search_count < config.min_search_count {
-            stats.dropped_low_search += 1;
-            continue;
+        if rec.search_count < self.config.min_search_count {
+            self.stats.dropped_low_search += 1;
+            return;
         }
-        match index.entry((rec.leaf.0, rec.text.clone())) {
+        match self.index.entry((rec.leaf.0, rec.text.clone())) {
             std::collections::hash_map::Entry::Occupied(e) => {
-                let existing = &mut kept[*e.get()];
+                let existing = &mut self.kept[*e.get()];
                 existing.search_count = existing.search_count.saturating_add(rec.search_count);
                 existing.recall_count = existing.recall_count.max(rec.recall_count);
-                stats.merged_duplicates += 1;
+                self.stats.merged_duplicates += 1;
             }
             std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(kept.len());
-                kept.push(rec);
+                e.insert(self.kept.len());
+                self.kept.push(rec);
             }
         }
     }
 
-    if let Some(cap) = config.max_per_leaf {
-        // Sort within leaf by search count desc and truncate each leaf group.
-        kept.sort_unstable_by(|a, b| {
-            (a.leaf, std::cmp::Reverse(a.search_count), &a.text).cmp(&(
-                b.leaf,
-                std::cmp::Reverse(b.search_count),
-                &b.text,
-            ))
-        });
-        let mut out: Vec<KeyphraseRecord> = Vec::with_capacity(kept.len());
-        let mut run_leaf = None;
-        let mut run_len = 0usize;
-        for rec in kept {
-            if run_leaf != Some(rec.leaf) {
-                run_leaf = Some(rec.leaf);
-                run_len = 0;
-            }
-            if run_len < cap {
-                out.push(rec);
-                run_len += 1;
-            } else {
-                stats.dropped_leaf_cap += 1;
-            }
-        }
-        kept = out;
+    /// Records kept so far (before the leaf cap is applied).
+    pub fn len(&self) -> usize {
+        self.kept.len()
     }
 
-    stats.kept = kept.len();
-    (kept, stats)
+    pub fn is_empty(&self) -> bool {
+        self.kept.is_empty()
+    }
+
+    /// Applies the per-leaf cap and returns the surviving rows + stats.
+    pub fn finish(self) -> (Vec<KeyphraseRecord>, CurationStats) {
+        let Curator { config, mut stats, mut kept, .. } = self;
+        if let Some(cap) = config.max_per_leaf {
+            // Sort within leaf by search count desc and truncate each leaf group.
+            kept.sort_unstable_by(|a, b| {
+                (a.leaf, std::cmp::Reverse(a.search_count), &a.text).cmp(&(
+                    b.leaf,
+                    std::cmp::Reverse(b.search_count),
+                    &b.text,
+                ))
+            });
+            let mut out: Vec<KeyphraseRecord> = Vec::with_capacity(kept.len());
+            let mut run_leaf = None;
+            let mut run_len = 0usize;
+            for rec in kept {
+                if run_leaf != Some(rec.leaf) {
+                    run_leaf = Some(rec.leaf);
+                    run_len = 0;
+                }
+                if run_len < cap {
+                    out.push(rec);
+                    run_len += 1;
+                } else {
+                    stats.dropped_leaf_cap += 1;
+                }
+            }
+            kept = out;
+        }
+
+        stats.kept = kept.len();
+        (kept, stats)
+    }
 }
 
 #[cfg(test)]

@@ -228,6 +228,35 @@ impl LeafGraph {
     pub fn is_zero_copy(&self) -> bool {
         self.labels.is_view()
     }
+
+    /// The same graph with its id arrays rewritten — the assembly-merge
+    /// remap (local → global ids) and its inverse (relocalization for
+    /// delta borrows). CSR structure, label lengths, and score arrays are
+    /// shared/cloned untouched: only *which* vocabulary the ids point
+    /// into changes, never the topology.
+    ///
+    /// # Panics
+    /// Panics if the replacement arrays disagree in length with the
+    /// originals or contain duplicate tokens (remap bugs, not data
+    /// errors).
+    pub(crate) fn with_ids(&self, row_tokens: Vec<TokenId>, labels: Vec<KeyphraseId>) -> Self {
+        assert_eq!(row_tokens.len(), self.row_tokens.len());
+        assert_eq!(labels.len(), self.labels.len());
+        let mut word_rows = FxHashMap::with_capacity_and_hasher(row_tokens.len(), Default::default());
+        for (row, &tok) in row_tokens.iter().enumerate() {
+            let prev = word_rows.insert(tok, row as u32);
+            assert!(prev.is_none(), "duplicate token after id remap");
+        }
+        Self {
+            word_rows,
+            csr: self.csr.clone(),
+            labels: labels.into(),
+            label_len: self.label_len.clone(),
+            search: self.search.clone(),
+            recall: self.recall.clone(),
+            row_tokens: row_tokens.into(),
+        }
+    }
 }
 
 #[cfg(test)]

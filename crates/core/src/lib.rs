@@ -66,6 +66,7 @@
 //! the same [`KeyphraseService`] trait.
 
 pub mod alignment;
+pub mod assembly;
 pub mod builder;
 pub mod csr;
 pub mod curation;

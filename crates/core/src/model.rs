@@ -153,6 +153,11 @@ impl GraphExModel {
         self.fallback.is_some()
     }
 
+    /// The meta-category fallback graph, if one was built.
+    pub fn fallback_graph(&self) -> Option<&LeafGraph> {
+        self.fallback.as_deref()
+    }
+
     /// The ranking alignment this model defaults to.
     pub fn alignment(&self) -> Alignment {
         self.alignment

@@ -26,6 +26,7 @@
 
 pub mod catalog;
 pub mod churn;
+pub mod corpus;
 pub mod dataset;
 pub mod oracle;
 pub mod queries;
@@ -33,6 +34,7 @@ pub mod sessions;
 pub mod wordgen;
 
 pub use catalog::{CategorySpec, Item, Marketplace, Product};
+pub use corpus::ChurnCorpus;
 pub use dataset::CategoryDataset;
 pub use oracle::RelevanceOracle;
 pub use queries::{Query, QueryConstraint};

@@ -412,7 +412,36 @@ impl ModelRegistry {
         self.publish_bytes(&bytes, note)
     }
 
+    /// Publishes serialized snapshot bytes together with sidecar files
+    /// (e.g. the build pipeline's `BUILDINFO` manifest), staged and
+    /// renamed atomically with the snapshot so a version directory is
+    /// always complete. Sidecar names must be plain file names and may
+    /// not collide with the registry's own files.
+    pub fn publish_with_files(
+        &self,
+        bytes: &[u8],
+        note: &str,
+        extras: &[(&str, &[u8])],
+    ) -> RegistryResult<SnapshotMeta> {
+        for (name, _) in extras {
+            let reserved = [MODEL_FILE, MANIFEST_FILE, CURRENT_FILE].contains(name);
+            if reserved || name.is_empty() || name.contains(['/', '\\']) {
+                return Err(RegistryError::Manifest(format!("invalid sidecar file name {name:?}")));
+            }
+        }
+        self.publish_bytes_with(bytes, note, extras)
+    }
+
     fn publish_bytes(&self, bytes: &[u8], note: &str) -> RegistryResult<SnapshotMeta> {
+        self.publish_bytes_with(bytes, note, &[])
+    }
+
+    fn publish_bytes_with(
+        &self,
+        bytes: &[u8],
+        note: &str,
+        extras: &[(&str, &[u8])],
+    ) -> RegistryResult<SnapshotMeta> {
         let _writer = self.write_lock.lock();
         // Validate *before* anything lands in the registry directory.
         let info = serialize::inspect(bytes)?;
@@ -436,6 +465,9 @@ impl ModelRegistry {
         std::fs::create_dir_all(&staging)?;
         serialize::write_bytes_to(bytes, staging.join(MODEL_FILE))?;
         std::fs::write(staging.join(MANIFEST_FILE), meta.render())?;
+        for (name, content) in extras {
+            std::fs::write(staging.join(name), content)?;
+        }
         std::fs::rename(&staging, self.version_dir(version))?;
 
         // Admission failed (deep structural parse or warm-up): withdraw
@@ -816,6 +848,29 @@ mod tests {
             "2",
             "attach/gc must not rewrite CURRENT"
         );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn publish_with_files_stages_sidecars_with_the_snapshot() {
+        let root = tempdir("sidecar");
+        let registry = ModelRegistry::open(&root).unwrap();
+        let bytes = graphex_core::serialize::to_bytes(&model(1));
+        let meta = registry
+            .publish_with_files(&bytes, "pipeline build", &[("BUILDINFO", b"fingerprints\n")])
+            .unwrap();
+        assert_eq!(meta.version, 1);
+        assert_eq!(
+            std::fs::read(root.join("1").join("BUILDINFO")).unwrap(),
+            b"fingerprints\n"
+        );
+        // Reserved / path-escaping sidecar names are rejected before
+        // anything lands on disk.
+        for bad in ["model.gexm", "MANIFEST", "CURRENT", "", "a/b"] {
+            let res = registry.publish_with_files(&bytes, "", &[(bad, b"x" as &[u8])]);
+            assert!(matches!(res, Err(RegistryError::Manifest(_))), "{bad:?} accepted");
+        }
+        assert_eq!(registry.versions().unwrap(), [1]);
         std::fs::remove_dir_all(&root).ok();
     }
 
