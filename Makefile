@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test doc clippy bench-smoke bench bench-snapshot serve-smoke bench-http bench-build ci
+.PHONY: build test doc clippy bench-smoke bench bench-snapshot serve-smoke bench-http bench-build bench-cluster cluster-smoke ci
 
 # Tier-1 gate, part 1.
 build:
@@ -51,6 +51,21 @@ bench-http:
 bench-build:
 	$(CARGO) run --release -p graphex-bench --bin buildbench -- \
 	  --reps 5 --output BENCH_build_pipeline.json --date $$(date +%Y-%m-%d)
+
+# Scale-out serving: loadgen through the scatter-gather router, 1 vs 3
+# backends, the 3-backend arm absorbing a rolling cluster-wide hot swap
+# mid-run. Gates on zero 5xx and zero degraded entries cluster-wide.
+# Records the BENCH_cluster.json datapoint (1-CPU container caveat
+# inside: the 3-backend arm measures coordination, not speedup).
+bench-cluster:
+	$(CARGO) run --release -p graphex-bench --bin clusterbench -- \
+	  --requests 3000 --connections 4 \
+	  --output BENCH_cluster.json --date $$(date +%Y-%m-%d)
+
+# Cluster smoke: build -> per-shard snapshots -> 3 backends + router,
+# then the sharded≡monolith, rolling-swap zero-5xx, and health gates.
+cluster-smoke:
+	$(CARGO) run --release -p graphex-cli --bin graphex -- cluster smoke
 
 # The real (wall-clock) bench suite.
 bench:

@@ -1,0 +1,349 @@
+//! `clusterbench` — loadgen through the scatter-gather router: the same
+//! keep-alive `POST /v1/infer` replay as `loadgen`, but against a
+//! [`graphex_server::LocalCluster`] — once with **1 backend** and once
+//! with **3 backends**, the 3-backend arm absorbing a rolling
+//! cluster-wide hot swap at the halfway mark. Both arms gate on zero
+//! 5xx and zero degraded entries; the run **fails** (exit 1) otherwise.
+//! On success it prints (and with `--output`, writes) the
+//! `BENCH_cluster.json` datapoint.
+//!
+//! ```text
+//! cargo run --release -p graphex-bench --bin clusterbench -- \
+//!     [--requests 3000] [--connections 4] [--seed 11] \
+//!     [--output BENCH_cluster.json] [--date YYYY-MM-DD]
+//! ```
+
+use graphex_core::GraphExConfig;
+use graphex_marketsim::{CategorySpec, ChurnCorpus};
+use graphex_pipeline::{build, BuildOutput, BuildPlan, MarketsimSource, BUILDINFO_FILE};
+use graphex_server::{ClusterConfig, HttpClient, Json, LocalCluster, RouterConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    requests: u64,
+    connections: usize,
+    seed: u64,
+    output: Option<String>,
+    date: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        requests: 3000,
+        connections: 4,
+        seed: 11,
+        output: None,
+        date: "unrecorded".into(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = argv.get(i + 1).ok_or_else(|| format!("{} needs a value", argv[i]))?;
+        match argv[i].as_str() {
+            "--requests" => args.requests = value.parse().map_err(|_| "bad --requests")?,
+            "--connections" => args.connections = value.parse().map_err(|_| "bad --connections")?,
+            "--seed" => args.seed = value.parse().map_err(|_| "bad --seed")?,
+            "--output" => args.output = Some(value.clone()),
+            "--date" => args.date = value.clone(),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    args.connections = args.connections.clamp(1, 64);
+    args.requests = args.requests.max(args.connections as u64 * 4);
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("clusterbench: {e}");
+            std::process::exit(2);
+        }
+    };
+    match run(&args) {
+        Ok(report) => {
+            println!("{report}");
+            if let Some(path) = &args.output {
+                if let Err(e) = std::fs::write(path, format!("{report}\n")) {
+                    eprintln!("clusterbench: write {path}: {e}");
+                    std::process::exit(2);
+                }
+                eprintln!("recorded {path}");
+            }
+        }
+        Err(e) => {
+            eprintln!("clusterbench FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn build_gen(corpus: &ChurnCorpus) -> Result<BuildOutput, String> {
+    let mut config = GraphExConfig::default();
+    config.curation.min_search_count = 2;
+    let plan = BuildPlan::new(config).jobs(2);
+    build(&plan, vec![Box::new(MarketsimSource::new(corpus))]).map_err(|e| e.to_string())
+}
+
+struct ArmResult {
+    elapsed: Duration,
+    latencies: Vec<Duration>,
+    fanout_subrequests: u64,
+    rolled: bool,
+}
+
+/// Replays the pool through a fresh N-backend cluster; when `gen1` is
+/// given, a rolling cluster-wide hot swap lands at the halfway mark.
+fn run_arm(
+    shards: u32,
+    args: &Args,
+    gen0: &BuildOutput,
+    gen1: Option<&BuildOutput>,
+    pool: &[(String, u32, u64)],
+) -> Result<ArmResult, String> {
+    let root = std::env::temp_dir()
+        .join(format!("graphex-clusterbench-{}-{}", shards, std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let snapshots = gen0.emit_shards(shards).map_err(|e| e.to_string())?;
+    graphex_pipeline::publish_shards(&snapshots, &root, "clusterbench gen0")
+        .map_err(|e| e.to_string())?;
+    let roots: Vec<PathBuf> =
+        (0..shards).map(|i| graphex_pipeline::shard_root(&root, i)).collect();
+    let config = ClusterConfig {
+        router: RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: args.connections,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let cluster = LocalCluster::boot(&roots, &config)
+        .map_err(|e| format!("boot {shards}-backend cluster: {e}"))?;
+    let addr = cluster.router_addr();
+    eprintln!(
+        "replaying {} requests over {} connections through http://{addr} ({shards} backend(s))",
+        args.requests, args.connections
+    );
+
+    let completed = Arc::new(AtomicU64::new(0));
+    let finished_threads = Arc::new(AtomicU64::new(0));
+    let per_connection = args.requests / args.connections as u64;
+    let started = Instant::now();
+    let clients: Vec<_> = (0..args.connections)
+        .map(|c| {
+            let pool = pool.to_vec();
+            let completed = Arc::clone(&completed);
+            let finished_threads = Arc::clone(&finished_threads);
+            std::thread::spawn(move || -> Result<Vec<Duration>, String> {
+                let run = || -> Result<Vec<Duration>, String> {
+                    let mut client =
+                        HttpClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                    let mut latencies = Vec::with_capacity(per_connection as usize);
+                    for r in 0..per_connection {
+                        let (title, leaf, id) =
+                            &pool[((c as u64 + r * 7) % pool.len() as u64) as usize];
+                        let body = Json::obj(vec![
+                            ("title", Json::str(title.clone())),
+                            ("leaf", Json::uint(u64::from(*leaf))),
+                            ("k", Json::uint(10)),
+                            ("id", Json::uint(*id)),
+                        ])
+                        .render();
+                        let sent = Instant::now();
+                        let response = client
+                            .post_json("/v1/infer", &body)
+                            .map_err(|e| format!("connection {c} request {r}: {e}"))?;
+                        latencies.push(sent.elapsed());
+                        if response.status != 200 {
+                            return Err(format!(
+                                "connection {c} request {r}: HTTP {} — {}",
+                                response.status,
+                                response.text()
+                            ));
+                        }
+                        if response
+                            .header("connection")
+                            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+                        {
+                            client = HttpClient::connect(addr)
+                                .map_err(|e| format!("reconnect: {e}"))?;
+                        }
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(latencies)
+                };
+                let result = run();
+                finished_threads.fetch_add(1, Ordering::Relaxed);
+                result
+            })
+        })
+        .collect();
+
+    let mut rolled = false;
+    if let Some(gen1) = gen1 {
+        // Roll once half the traffic has landed — or bail out of the wait
+        // if the clients already finished (e.g. failed early).
+        let swap_at = args.requests / 2;
+        while completed.load(Ordering::Relaxed) < swap_at
+            && finished_threads.load(Ordering::Relaxed) < args.connections as u64
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let next = gen1.emit_shards(shards).map_err(|e| e.to_string())?;
+        let payloads: Vec<graphex_server::ShardPayload> = next
+            .iter()
+            .map(|s| {
+                (
+                    s.bytes.to_vec(),
+                    vec![(BUILDINFO_FILE.to_string(), s.manifest.render().into_bytes())],
+                )
+            })
+            .collect();
+        let roll_started = Instant::now();
+        cluster
+            .rolling_publish(&payloads, "clusterbench gen1", Duration::from_secs(30))
+            .map_err(|e| format!("rolling publish: {e}"))?;
+        eprintln!(
+            "rolled {} shard(s) to gen1 after {} requests ({:.1?})",
+            shards,
+            completed.load(Ordering::Relaxed),
+            roll_started.elapsed()
+        );
+        rolled = true;
+    }
+
+    let mut latencies: Vec<Duration> = Vec::with_capacity(args.requests as usize);
+    for client in clients {
+        latencies.extend(client.join().map_err(|_| "client thread panicked".to_string())??);
+    }
+    let elapsed = started.elapsed();
+
+    // Cluster-wide acceptance gates.
+    let errors_5xx = cluster.server_errors();
+    if errors_5xx > 0 {
+        return Err(format!("{shards}-backend arm: {errors_5xx} responses were 5xx"));
+    }
+    let degraded = cluster.router().degraded();
+    if degraded > 0 {
+        return Err(format!("{shards}-backend arm: {degraded} degraded entries"));
+    }
+    if rolled {
+        for backend in cluster.backends() {
+            if backend.api.snapshot_version() < 2 {
+                return Err(format!("shard {} never reached gen1", backend.shard));
+            }
+        }
+    }
+    let fanout_subrequests = {
+        let mut probe = HttpClient::connect(addr).map_err(|e| e.to_string())?;
+        let status = probe.get("/statusz").map_err(|e| e.to_string())?;
+        graphex_server::json::parse(&status.text())
+            .ok()
+            .and_then(|j| j.get("fanout_subrequests").and_then(Json::as_u64))
+            .unwrap_or(0)
+    };
+    cluster.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+    latencies.sort_unstable();
+    Ok(ArmResult { elapsed, latencies, fanout_subrequests, rolled })
+}
+
+fn arm_json(arm: &ArmResult, shards: u32, requests: u64) -> String {
+    let pct = |p: f64| arm.latencies[((arm.latencies.len() - 1) as f64 * p) as usize];
+    let throughput = arm.latencies.len() as f64 / arm.elapsed.as_secs_f64();
+    format!(
+        r#"{{
+      "backends": {shards},
+      "requests": {requests},
+      "elapsed": "{elapsed:.3?}",
+      "throughput_per_s": {throughput:.0},
+      "latency_p50": "{p50:.3?}",
+      "latency_p95": "{p95:.3?}",
+      "latency_p99": "{p99:.3?}",
+      "latency_max": "{max:.3?}",
+      "fanout_subrequests": {fanout},
+      "rolling_swap_under_load": {rolled},
+      "responses_5xx": 0,
+      "degraded_entries": 0
+    }}"#,
+        elapsed = arm.elapsed,
+        p50 = pct(0.50),
+        p95 = pct(0.95),
+        p99 = pct(0.99),
+        max = arm.latencies[arm.latencies.len() - 1],
+        fanout = arm.fanout_subrequests,
+        rolled = arm.rolled,
+    )
+}
+
+fn run(args: &Args) -> Result<String, String> {
+    eprintln!("generating corpus + gen0/gen1 models (seed {}) ...", args.seed);
+    let spec = CategorySpec {
+        name: "CLUSTERBENCH".into(),
+        seed: args.seed,
+        num_leaves: 24,
+        products_per_leaf: 8,
+        num_items: 400,
+        num_sessions: 2_500,
+        leaf_id_base: 7_000,
+    };
+    let mut corpus = ChurnCorpus::new(spec, 0.05);
+    let gen0 = build_gen(&corpus)?;
+    corpus.advance_to(1);
+    let gen1 = build_gen(&corpus)?;
+
+    // Request pool: item titles + leaves spread across every shard
+    // residue, ids overlapping across connections for the store-hit mix.
+    let pool: Vec<(String, u32, u64)> = corpus
+        .marketplace()
+        .items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| (item.title.clone(), item.leaf.0, i as u64))
+        .collect();
+    if pool.is_empty() {
+        return Err("corpus produced no items".into());
+    }
+
+    let single = run_arm(1, args, &gen0, None, &pool)?;
+    let three = run_arm(3, args, &gen0, Some(&gen1), &pool)?;
+
+    let report = format!(
+        r#"{{
+  "bench": "cluster",
+  "description": "loadgen replay through the scatter-gather router over loopback: 1 backend vs 3 sharded backends, the 3-backend arm absorbing a rolling cluster-wide hot swap at the halfway mark. Gates: zero 5xx cluster-wide, zero degraded entries, every shard on the new generation.",
+  "date": "{date}",
+  "machine": {{
+    "os": "{os}",
+    "cpus_available": {cpus},
+    "note": "loopback-only; on a 1-CPU container the router, every backend, and all client threads share one core, so the 3-backend arm measures coordination overhead, not scale-out speedup — re-measure on real hardware for throughput claims."
+  }},
+  "config": {{
+    "dataset": "marketsim CLUSTERBENCH (24 leaves, churn 0.05)",
+    "requests_per_arm": {requests},
+    "connections": {connections},
+    "router_workers": {connections},
+    "k": 10,
+    "profile": "{profile}"
+  }},
+  "results": {{
+    "single_backend": {single},
+    "three_backends": {three}
+  }}
+}}"#,
+        date = args.date,
+        os = std::env::consts::OS,
+        cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        requests = args.requests,
+        connections = args.connections,
+        profile = if cfg!(debug_assertions) { "debug" } else { "release" },
+        single = arm_json(&single, 1, args.requests),
+        three = arm_json(&three, 3, args.requests),
+    );
+    Ok(report)
+}

@@ -26,6 +26,10 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     if output_path.is_none() && publish_root.is_none() {
         return Err("missing --output <model.gexm> and/or --publish <registry root>".into());
     }
+    let shards = args.get_num::<u32>("shards", 0)?;
+    if shards > 0 && publish_root.is_none() {
+        return Err("--shards needs --publish <cluster root> (per-shard registries)".into());
+    }
 
     let config = config_from(args)?;
     let mut plan = BuildPlan::new(config)
@@ -45,18 +49,37 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
         let _ = writeln!(tail, "wrote {path} (+ {})", info.display());
     }
     if let Some(root) = publish_root {
-        let registry =
-            ModelRegistry::open(root).map_err(|e| format!("open registry {root}: {e}"))?;
         let note = args.get("note").unwrap_or("graphex build");
-        let meta = output
-            .publish(&registry, note)
-            .map_err(|e| format!("publish into {root}: {e}"))?;
-        let _ = writeln!(
-            tail,
-            "published version {} to {root} (active: {})",
-            meta.version,
-            registry.current_version().unwrap_or_default()
-        );
+        if shards > 0 {
+            // Scale-out publish: partition by `leaf % shards` and publish
+            // each shard into its own registry under `<root>/shard-<i>`.
+            let snapshots = output.emit_shards(shards).map_err(|e| format!("--shards: {e}"))?;
+            let metas = graphex_pipeline::publish_shards(&snapshots, root, note)
+                .map_err(|e| format!("publish shards into {root}: {e}"))?;
+            for (snapshot, meta) in snapshots.iter().zip(&metas) {
+                let _ = writeln!(
+                    tail,
+                    "published shard {}/{} version {} to {} ({} leaves)",
+                    snapshot.index,
+                    shards,
+                    meta.version,
+                    graphex_pipeline::shard_root(root, snapshot.index).display(),
+                    meta.leaves,
+                );
+            }
+        } else {
+            let registry =
+                ModelRegistry::open(root).map_err(|e| format!("open registry {root}: {e}"))?;
+            let meta = output
+                .publish(&registry, note)
+                .map_err(|e| format!("publish into {root}: {e}"))?;
+            let _ = writeln!(
+                tail,
+                "published version {} to {root} (active: {})",
+                meta.version,
+                registry.current_version().unwrap_or_default()
+            );
+        }
     }
 
     if args.switch("json") {
@@ -281,6 +304,33 @@ mod tests {
     fn rejects_missing_destination_and_sources() {
         assert!(dispatch(&argv(&["build", "--marketsim", "tiny"])).is_err());
         assert!(dispatch(&argv(&["build", "--output", "/tmp/x.gexm"])).is_err());
+    }
+
+    #[test]
+    fn sharded_publish_creates_per_shard_registries() {
+        let dir = tempdir("shards");
+        let root = dir.join("cluster");
+        let root_s = root.to_str().unwrap();
+        let out = dispatch(&argv(&[
+            "build", "--marketsim", "tiny", "--seed", "3", "--min-search", "2", "--publish",
+            root_s, "--shards", "2", "--note", "gen0",
+        ]))
+        .unwrap();
+        assert!(out.contains("published shard 0/2"), "{out}");
+        assert!(out.contains("published shard 1/2"), "{out}");
+        for shard in 0..2 {
+            let info = root.join(format!("shard-{shard}")).join("1").join("BUILDINFO");
+            let text = std::fs::read_to_string(&info).unwrap();
+            assert!(text.contains(&format!("shard {shard} 2")), "{text}");
+        }
+
+        // --shards is a publish topology, not a file format.
+        let err = dispatch(&argv(&[
+            "build", "--marketsim", "tiny", "--output", "/tmp/x.gexm", "--shards", "2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--publish"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -2,10 +2,12 @@
 //! payload, so tests exercise commands as plain functions.
 
 pub mod build;
+pub mod cluster;
 pub mod diff;
 pub mod explain;
 pub mod infer;
 pub mod model;
+pub mod route;
 pub mod serve;
 pub mod simulate;
 pub mod stats;

@@ -2,13 +2,28 @@
 //! With `--server <addr>` it instead queries a running `graphex serve`
 //! frontend's `/statusz` and renders the live serving counters, including
 //! the admission-control gauges (shed / deadline-exceeded / in-flight).
+//!
+//! A comma-separated `--server a,b,c` (or `--map <shard map file>`)
+//! aggregates across a backend cluster: one row per backend plus a
+//! cluster rollup, with unreachable backends reported as `down` instead
+//! of failing the whole command.
 
 use super::load_model;
 use crate::args::ParsedArgs;
+use graphex_server::Json;
 use std::fmt::Write as _;
 
 pub fn run(args: &ParsedArgs) -> Result<String, String> {
+    if args.get("map").is_some() {
+        let map = super::route::map_from(args)?;
+        return cluster_stats(map.backends());
+    }
     if let Some(addr) = args.get("server") {
+        let addrs: Vec<String> =
+            addr.split(',').filter(|a| !a.is_empty()).map(str::to_string).collect();
+        if addrs.len() > 1 {
+            return cluster_stats(&addrs);
+        }
         return server_stats(addr);
     }
     let model = load_model(args)?;
@@ -125,6 +140,83 @@ fn server_stats(addr: &str) -> Result<String, String> {
             of("empty")
         );
     }
+    Ok(out)
+}
+
+/// One `/statusz` fetch for the cluster table; `None` = unreachable.
+fn fetch_statusz(addr: &str) -> Option<Json> {
+    let mut client = graphex_server::HttpClient::connect(addr).ok()?;
+    let response = client.get("/statusz").ok()?;
+    if response.status != 200 {
+        return None;
+    }
+    graphex_server::json::parse(&response.text()).ok()
+}
+
+/// Per-backend rows + a cluster rollup across a shard map. Backends that
+/// cannot be reached (or answer garbage) show as `down` — an operator
+/// pointing `stats` at a half-up cluster still gets the full picture.
+fn cluster_stats(addrs: &[String]) -> Result<String, String> {
+    const COUNTERS: [&str; 6] =
+        ["in_flight", "shed", "deadline_exceeded", "store_hits", "read_throughs", "unservable"];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>5}  {:<21} {:>6} {:>9} {:>9} {:>6} {:>9} {:>11} {:>13} {:>11}",
+        "shard", "backend", "state", "snapshot", "in-flight", "shed", "deadline", "store-hits",
+        "read-through", "unservable"
+    );
+    let mut up = 0usize;
+    let mut totals = [0u64; COUNTERS.len()];
+    let mut versions: Vec<u64> = Vec::new();
+    for (shard, addr) in addrs.iter().enumerate() {
+        match fetch_statusz(addr) {
+            Some(stats) => {
+                up += 1;
+                let num = |key: &str| stats.get(key).and_then(|v| v.as_u64()).unwrap_or(0);
+                versions.push(num("snapshot_version"));
+                let mut row = [0u64; COUNTERS.len()];
+                for (slot, key) in COUNTERS.iter().enumerate() {
+                    row[slot] = num(key);
+                    totals[slot] += row[slot];
+                }
+                let _ = writeln!(
+                    out,
+                    "{shard:>5}  {addr:<21} {:>6} {:>9} {:>9} {:>6} {:>9} {:>11} {:>13} {:>11}",
+                    "up", num("snapshot_version"), row[0], row[1], row[2], row[3], row[4], row[5]
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "{shard:>5}  {addr:<21} {:>6} {:>9} {:>9} {:>6} {:>9} {:>11} {:>13} {:>11}",
+                    "down", "-", "-", "-", "-", "-", "-", "-"
+                );
+            }
+        }
+    }
+    versions.sort_unstable();
+    versions.dedup();
+    let version_note = match versions.as_slice() {
+        [] => "none".to_string(),
+        [one] => one.to_string(),
+        many => format!(
+            "MIXED ({})",
+            many.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+        ),
+    };
+    let _ = writeln!(
+        out,
+        "cluster: {up}/{} up  snapshot {version_note}  in-flight {}  shed {}  \
+         deadline-exceeded {}  store-hits {}  read-throughs {}  unservable {}",
+        addrs.len(),
+        totals[0],
+        totals[1],
+        totals[2],
+        totals[3],
+        totals[4],
+        totals[5],
+    );
     Ok(out)
 }
 

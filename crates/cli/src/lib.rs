@@ -22,7 +22,8 @@ pub fn usage() -> &'static str {
   graphex infer    --model <model.gexm> --leaf <id> (--title <text> | --stdin)
                    [--k N] [--alignment <lta|wmr|jac>] [--outcome]
   graphex explain  --model <model.gexm> --leaf <id> --title <text> [--k N]
-  graphex stats    (--model <model.gexm> | --server <host:port>)
+  graphex stats    (--model <model.gexm> | --server <host:port[,more…]>
+                    | --map <shard map file>)
   graphex diff     --old <a.gexm> --new <b.gexm> [--max-listed N]
   graphex model    publish  --root <dir> --input <model.gexm> [--note <text>]
   graphex model    list     --root <dir>
@@ -34,6 +35,15 @@ pub fn usage() -> &'static str {
                    [--workers N] [--queue N] [--k N] [--deadline-ms N]
                    [--max-body BYTES] [--poll-ms N] [--invalidate-on-swap]
                    [--smoke]
+  graphex route    (--map <file> | --backends <addr,addr,…>)
+                   [--addr host:port] [--workers N] [--queue N]
+                   [--backend-timeout-ms N] [--retries N] [--eject-after N]
+  graphex cluster  up    --root <cluster dir> [--addr host:port] [--k N]
+                         [--workers N] [--poll-ms N]
+  graphex cluster  smoke [--shards N] [--clients N] [--seed N]
+
+build --shards N + --publish <dir> emits per-shard registries under
+<dir>/shard-<i> for `graphex cluster up` / `graphex route`.
 
 record TSV line: text<TAB>leaf_id<TAB>search_count<TAB>recall_count"
 }
@@ -45,6 +55,10 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         // `model` takes a positional verb before its flags.
         return commands::model::run(rest);
     }
+    if command == "cluster" {
+        // `cluster` too (up|smoke).
+        return commands::cluster::run(rest);
+    }
     let parsed = ParsedArgs::parse(rest)?;
     match command.as_str() {
         "simulate" => commands::simulate::run(&parsed),
@@ -53,6 +67,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "explain" => commands::explain::run(&parsed),
         "stats" => commands::stats::run(&parsed),
         "serve" => commands::serve::run(&parsed),
+        "route" => commands::route::run(&parsed),
         "diff" => commands::diff::run(&parsed),
         "help" | "--help" | "-h" => Ok(format!("{}\n", usage())),
         other => Err(format!("unknown command {other:?}")),

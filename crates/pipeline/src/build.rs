@@ -56,6 +56,8 @@ pub enum PipelineError {
     Delta(String),
     /// Registry publish failures.
     Registry(RegistryError),
+    /// Per-shard emission problems (e.g. a shard that owns no leaves).
+    Shard(String),
     Io(std::io::Error),
 }
 
@@ -67,6 +69,7 @@ impl std::fmt::Display for PipelineError {
             Self::Model(e) => write!(f, "build failed: {e}"),
             Self::Delta(e) => write!(f, "delta base: {e}"),
             Self::Registry(e) => write!(f, "publish failed: {e}"),
+            Self::Shard(e) => write!(f, "shard emission: {e}"),
             Self::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -414,6 +417,7 @@ pub fn build(plan: &BuildPlan, sources: Vec<Box<dyn RecordSource>>) -> PipelineR
         records_in,
         parse_errors,
         curation,
+        shard: None,
         leaves: leaves.iter().map(|y| (y.leaf.0, y.fingerprint)).collect(),
     };
     let report = BuildReport {

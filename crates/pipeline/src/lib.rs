@@ -47,12 +47,14 @@
 mod build;
 pub mod manifest;
 mod queue;
+pub mod shard;
 pub mod source;
 
 pub use build::{
     build, BuildOutput, BuildPlan, BuildReport, DeltaBase, PipelineError, PipelineResult,
 };
 pub use manifest::{buildinfo_path_for, BuildManifest, BUILDINFO_FILE};
+pub use shard::{emit_shards, publish_shards, shard_of, shard_root, ShardSnapshot};
 pub use source::{
     open_file_source, MarketsimSource, NdjsonFileSource, RecordSource, SourceStats, TsvFileSource,
     VecSource,

@@ -13,6 +13,7 @@
 //! records_in <raw records ingested>
 //! parse_errors <records skipped as unparsable>
 //! curation <input> <kept> <low_search> <token_bounds> <leaf_cap> <merged>
+//! shard <index> <of>            (per-shard snapshots only)
 //! leaf <leaf id> <16-hex fingerprint of the leaf's curated records>
 //! leaf …
 //! ```
@@ -44,6 +45,11 @@ pub struct BuildManifest {
     pub parse_errors: u64,
     /// What curation kept/dropped for this build.
     pub curation: CurationStats,
+    /// `(index, of)` when this manifest describes one shard of a
+    /// leaf-partitioned emission (`leaf % of == index`); `None` for a
+    /// monolithic snapshot. Old parsers ignore the line (forward
+    /// compatibility), so a shard snapshot is still a valid delta base.
+    pub shard: Option<(u32, u32)>,
     /// Leaf id → fingerprint of the leaf's curated records.
     pub leaves: BTreeMap<u32, u64>,
 }
@@ -73,6 +79,9 @@ impl BuildManifest {
             c.input, c.kept, c.dropped_low_search, c.dropped_token_bounds, c.dropped_leaf_cap,
             c.merged_duplicates
         );
+        if let Some((index, of)) = self.shard {
+            let _ = writeln!(out, "shard {index} {of}");
+        }
         for (leaf, fp) in &self.leaves {
             let _ = writeln!(out, "leaf {leaf} {fp:016x}");
         }
@@ -88,6 +97,7 @@ impl BuildManifest {
             records_in: 0,
             parse_errors: 0,
             curation: CurationStats::default(),
+            shard: None,
             leaves: BTreeMap::new(),
         };
         let mut versioned = false;
@@ -145,6 +155,15 @@ impl BuildManifest {
                         dropped_leaf_cap: nums[4],
                         merged_duplicates: nums[5],
                     };
+                }
+                "shard" => {
+                    let (index, of) = value.split_once(' ').ok_or_else(|| fail("bad shard line"))?;
+                    let index: u32 = index.parse().map_err(|_| fail("bad shard index"))?;
+                    let of: u32 = of.parse().map_err(|_| fail("bad shard count"))?;
+                    if of == 0 || index >= of {
+                        return Err(fail("shard index out of range"));
+                    }
+                    manifest.shard = Some((index, of));
                 }
                 "leaf" => {
                     let (id, fp) = value.split_once(' ').ok_or_else(|| fail("bad leaf line"))?;
@@ -208,6 +227,7 @@ mod tests {
                 dropped_leaf_cap: 0,
                 merged_duplicates: 20,
             },
+            shard: None,
             leaves: [(7, 0x1111), (9, 0x2222)].into_iter().collect(),
         }
     }
@@ -220,6 +240,10 @@ mod tests {
         let mut no_fallback = sample();
         no_fallback.fallback_fingerprint = None;
         assert_eq!(BuildManifest::parse(&no_fallback.render()).unwrap(), no_fallback);
+
+        let mut sharded = sample();
+        sharded.shard = Some((2, 3));
+        assert_eq!(BuildManifest::parse(&sharded.render()).unwrap(), sharded);
     }
 
     #[test]
@@ -231,6 +255,10 @@ mod tests {
         assert!(BuildManifest::parse(dup).is_err(), "duplicate leaf");
         let bad = "graphex-buildinfo 1\nconfig zz\n";
         assert!(BuildManifest::parse(bad).is_err(), "bad hex");
+        let shard = "graphex-buildinfo 1\nconfig 0\nshard 3 3\n";
+        assert!(BuildManifest::parse(shard).is_err(), "shard index out of range");
+        let shard = "graphex-buildinfo 1\nconfig 0\nshard 0 0\n";
+        assert!(BuildManifest::parse(shard).is_err(), "zero shard count");
     }
 
     #[test]

@@ -30,27 +30,51 @@ impl Response {
     }
 }
 
+/// Default cap on a response body's declared `Content-Length`. Generous
+/// for loopback tooling (a `/metrics` scrape is kilobytes); the router
+/// sets a tighter cap per backend connection.
+pub const DEFAULT_MAX_RESPONSE_BYTES: usize = 64 << 20;
+
 /// One persistent connection to a server.
 pub struct HttpClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     host: String,
+    max_response_bytes: usize,
 }
 
 impl HttpClient {
     /// Connects with a timeout on connect, read, and write.
     pub fn connect(addr: impl ToSocketAddrs + std::fmt::Display) -> std::io::Result<Self> {
+        Self::connect_with_timeouts(addr, Duration::from_secs(5), Duration::from_secs(10))
+    }
+
+    /// [`connect`](Self::connect) with explicit connect and read/write
+    /// timeouts (the router's backend deadline).
+    pub fn connect_with_timeouts(
+        addr: impl ToSocketAddrs + std::fmt::Display,
+        connect_timeout: Duration,
+        rw_timeout: Duration,
+    ) -> std::io::Result<Self> {
         let host = addr.to_string();
         let resolved = addr
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "no address"))?;
-        let stream = TcpStream::connect_timeout(&resolved, Duration::from_secs(5))?;
-        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        let stream = TcpStream::connect_timeout(&resolved, connect_timeout)?;
+        stream.set_read_timeout(Some(rw_timeout))?;
+        stream.set_write_timeout(Some(rw_timeout))?;
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(Self { reader, writer: stream, host })
+        Ok(Self { reader, writer: stream, host, max_response_bytes: DEFAULT_MAX_RESPONSE_BYTES })
+    }
+
+    /// Caps the declared `Content-Length` this client will buffer for a
+    /// response; a larger declaration errors instead of allocating. The
+    /// cap protects against a misbehaving or hijacked server — the body
+    /// allocation happens *before* any byte of it is read.
+    pub fn set_max_response_bytes(&mut self, cap: usize) {
+        self.max_response_bytes = cap.max(1);
     }
 
     /// `GET path`.
@@ -80,7 +104,7 @@ impl HttpClient {
             self.writer.write_all(body)?;
         }
         self.writer.flush()?;
-        read_response(&mut self.reader)
+        read_response(&mut self.reader, self.max_response_bytes)
     }
 }
 
@@ -88,7 +112,7 @@ fn bad(what: &str) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string())
 }
 
-fn read_response<S: BufRead>(stream: &mut S) -> std::io::Result<Response> {
+fn read_response<S: BufRead>(stream: &mut S, max_body: usize) -> std::io::Result<Response> {
     let mut status_line = String::new();
     if stream.read_line(&mut status_line)? == 0 {
         return Err(std::io::Error::new(
@@ -124,6 +148,11 @@ fn read_response<S: BufRead>(stream: &mut S) -> std::io::Result<Response> {
         .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
         .and_then(|(_, v)| v.parse().ok())
         .ok_or_else(|| bad("response without content-length"))?;
+    if content_length > max_body {
+        // Refuse before allocating: an untrusted Content-Length must not
+        // size a buffer.
+        return Err(bad("response body exceeds cap"));
+    }
     let mut body = vec![0u8; content_length];
     stream.read_exact(&mut body)?;
     Ok(Response { status, headers, body })
@@ -136,7 +165,7 @@ mod tests {
     #[test]
     fn parses_response_wire_format() {
         let raw = "HTTP/1.1 429 Too Many Requests\r\nContent-Type: text/plain\r\nRetry-After: 1\r\nContent-Length: 5\r\n\r\nshed\n";
-        let response = read_response(&mut BufReader::new(raw.as_bytes())).unwrap();
+        let response = read_response(&mut BufReader::new(raw.as_bytes()), 1024).unwrap();
         assert_eq!(response.status, 429);
         assert_eq!(response.header("retry-after"), Some("1"));
         assert_eq!(response.text(), "shed\n");
@@ -144,11 +173,23 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert!(read_response(&mut BufReader::new(&b"SPDY/9 lol\r\n\r\n"[..])).is_err());
-        assert!(read_response(&mut BufReader::new(&b""[..])).is_err());
-        assert!(
-            read_response(&mut BufReader::new(&b"HTTP/1.1 200 OK\r\n\r\n"[..])).is_err(),
-            "missing content-length"
-        );
+        let parse = |raw: &[u8]| read_response(&mut BufReader::new(raw), 1024);
+        assert!(parse(b"SPDY/9 lol\r\n\r\n").is_err());
+        assert!(parse(b"").is_err());
+        assert!(parse(b"HTTP/1.1 200 OK\r\n\r\n").is_err(), "missing content-length");
+    }
+
+    #[test]
+    fn oversized_declared_body_errors_before_allocating() {
+        // A hostile Content-Length must not size a buffer: usize::MAX
+        // here would abort the process if the allocation were attempted.
+        let raw = format!("HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        let err =
+            read_response(&mut BufReader::new(raw.as_bytes()), 1024).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // At the cap is fine, one past it is not.
+        let ok = "HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nbody";
+        assert!(read_response(&mut BufReader::new(ok.as_bytes()), 4).is_ok());
+        assert!(read_response(&mut BufReader::new(ok.as_bytes()), 3).is_err());
     }
 }

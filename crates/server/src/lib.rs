@@ -42,14 +42,35 @@
 //! # }
 //! ```
 
+//! ## Scale-out serving
+//!
+//! One process is the paper's unit of serving, but the reproduction also
+//! scales out: [`shardmap`] names N backends each owning the leaves with
+//! `leaf % N == shard`, [`router`] is a scatter-gather edge that fans a
+//! batch envelope out across those backends (with bounded retries,
+//! failure ejection, and half-open re-admission), [`cluster`] boots the
+//! whole arrangement in-process for `graphex cluster` and the tests, and
+//! [`chaos`] is the deliberately misbehaving backend the chaos tests
+//! point the router at.
+
+pub mod chaos;
 pub mod client;
+pub mod cluster;
 pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod queue;
+pub mod router;
 pub mod server;
+pub mod shardmap;
 
+pub use chaos::{ChaosBackend, ChaosMode};
 pub use client::{HttpClient, Response};
+pub use cluster::{ClusterConfig, ClusterError, LocalBackend, LocalCluster, ShardPayload};
 pub use json::Json;
 pub use metrics::{Endpoint, HttpMetrics, LatencyHistogram};
+pub use router::{
+    start_router, RouterConfig, RouterHandle, OUTCOME_BACKEND_UNAVAILABLE, SOURCE_ROUTER_DEGRADED,
+};
 pub use server::{start, ServerConfig, ServerHandle, MAX_BATCH};
+pub use shardmap::ShardMap;

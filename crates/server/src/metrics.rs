@@ -111,11 +111,11 @@ impl HttpMetrics {
         map.get(&(endpoint, status)).copied().unwrap_or(0)
     }
 
-    /// Renders the Prometheus text exposition for `/metrics`: HTTP-layer
-    /// counters plus the serving-layer [`ServeStats`] passed in.
-    pub fn render_prometheus(&self, serve: &ServeStats, queue_depth: usize) -> String {
-        let mut out = String::with_capacity(2048);
-
+    /// Renders the HTTP-layer metric families only (request tallies,
+    /// connection counters, queue gauge, latency histogram) — the part
+    /// shared by the backend frontend and the cluster router, which has
+    /// no [`ServeStats`] of its own.
+    pub fn render_http_families(&self, queue_depth: usize, out: &mut String) {
         let _ = writeln!(out, "# TYPE graphex_http_requests_total counter");
         {
             let map = self.responses.lock().unwrap_or_else(PoisonError::into_inner);
@@ -142,7 +142,14 @@ impl HttpMetrics {
         let _ = writeln!(out, "# TYPE graphex_http_queue_depth gauge");
         let _ = writeln!(out, "graphex_http_queue_depth {queue_depth}");
 
-        self.infer_latency.render("graphex_request_duration_seconds", &mut out);
+        self.infer_latency.render("graphex_request_duration_seconds", out);
+    }
+
+    /// Renders the Prometheus text exposition for `/metrics`: HTTP-layer
+    /// counters plus the serving-layer [`ServeStats`] passed in.
+    pub fn render_prometheus(&self, serve: &ServeStats, queue_depth: usize) -> String {
+        let mut out = String::with_capacity(2048);
+        self.render_http_families(queue_depth, &mut out);
 
         // Serving-layer counters (same numbers /statusz reports).
         let _ = writeln!(out, "# TYPE graphex_serve_source_total counter");

@@ -1,0 +1,872 @@
+//! The scatter-gather router: one HTTP edge in front of a leaf-sharded
+//! backend cluster.
+//!
+//! ```text
+//!                        ┌─► backend 0  (leaves ≡ 0 mod N)
+//! clients ──► router ────┼─► backend 1  (leaves ≡ 1 mod N)
+//!            (this file) └─► backend 2  (leaves ≡ 2 mod N)
+//! ```
+//!
+//! The router speaks the same `/v1/infer` protocol as a single backend —
+//! clients cannot tell whether they are talking to a monolith or a
+//! cluster. Each request entry is validated with the backend's own
+//! decoder (`crate::server::decode_one`), routed by
+//! `leaf % shards` through the [`ShardMap`], scattered as per-backend
+//! batch sub-envelopes over pooled keep-alive connections, and the
+//! responses are merged back in the caller's order with per-request ids
+//! (including the >2^53 decimal-string form) passed through verbatim.
+//!
+//! **Partial failure degrades, it does not storm.** A backend call that
+//! exhausts its bounded retries yields per-request `Outcome`-level
+//! degradation — `"outcome": "backend_unavailable"` with empty
+//! keyphrases inside a 200 envelope — never a router 5xx, so one sick
+//! shard cannot fail requests whose leaves live elsewhere.
+//!
+//! **Ejection state machine** (per backend):
+//!
+//! ```text
+//!             K consecutive failures
+//!   Healthy ──────────────────────────► Ejected(backoff)
+//!      ▲                                   │ backoff elapsed
+//!      │ /healthz probe ok                 ▼
+//!      └──────────────────────────── half-open probe
+//!                                          │ probe failed
+//!                                          ▼
+//!                                    Ejected(2·backoff, capped)
+//! ```
+//!
+//! While ejected, calls fail fast (no connect attempt, no retry burn);
+//! exactly one thread runs the half-open probe when the backoff expires.
+
+use crate::client::HttpClient;
+use crate::http::{self, ReadError, Request};
+use crate::json::{self, Json};
+use crate::metrics::{Endpoint, HttpMetrics};
+use crate::queue::Bounded;
+use crate::server::{decode_one, MAX_BATCH, MAX_KEEPALIVE_REQUESTS};
+use crate::shardmap::ShardMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Outcome label for a request whose shard was unreachable: router-level
+/// degradation, not one of the model's [`graphex_core::Outcome`]s.
+pub const OUTCOME_BACKEND_UNAVAILABLE: &str = "backend_unavailable";
+/// `source` label accompanying [`OUTCOME_BACKEND_UNAVAILABLE`].
+pub const SOURCE_ROUTER_DEGRADED: &str = "router_degraded";
+/// Most pooled keep-alive connections kept per backend.
+const POOL_SIZE: usize = 8;
+
+/// Router tuning. `Default` is sized for a local cluster; production
+/// callers set every field explicitly.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (each owns one client connection at a time).
+    pub workers: usize,
+    /// Accept-queue capacity; connections beyond it are shed with 429.
+    pub queue_depth: usize,
+    /// Cap on a client request body's declared `Content-Length`.
+    pub max_body_bytes: usize,
+    /// Idle read timeout on client keep-alive connections.
+    pub keep_alive_timeout: Duration,
+    /// Connect + read/write timeout for each backend call (a hung
+    /// backend costs at most this per attempt).
+    pub backend_timeout: Duration,
+    /// Extra attempts after a failed backend call (total = retries + 1),
+    /// each on a fresh connection.
+    pub retries: u32,
+    /// Consecutive failed calls before a backend is ejected.
+    pub eject_after: u32,
+    /// First ejection backoff; doubles per failed half-open probe.
+    pub backoff_initial: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Cap on a backend response body's declared `Content-Length`; a
+    /// larger declaration is a backend failure, not an allocation.
+    pub max_response_bytes: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7900".into(),
+            workers: 4,
+            queue_depth: 64,
+            max_body_bytes: 1 << 20,
+            keep_alive_timeout: Duration::from_secs(5),
+            backend_timeout: Duration::from_secs(2),
+            retries: 2,
+            eject_after: 3,
+            backoff_initial: Duration::from_millis(200),
+            backoff_max: Duration::from_secs(5),
+            max_response_bytes: 8 << 20,
+        }
+    }
+}
+
+/// Per-backend health, behind a mutex.
+#[derive(Debug, Clone)]
+enum Health {
+    Healthy { consecutive_failures: u32 },
+    Ejected { until: Instant, backoff: Duration },
+}
+
+/// One backend: address, connection pool, health, counters.
+struct Backend {
+    addr: String,
+    pool: Mutex<Vec<HttpClient>>,
+    health: Mutex<Health>,
+    /// Backend calls attempted (each retry counts).
+    calls: AtomicU64,
+    /// Failed calls (each failed attempt counts).
+    failures: AtomicU64,
+    /// Retry attempts (calls beyond a sub-batch's first).
+    retries: AtomicU64,
+    /// Healthy → Ejected transitions (including failed-probe re-ejects).
+    ejections: AtomicU64,
+    /// Successful half-open probes.
+    readmissions: AtomicU64,
+    /// Calls refused locally because the backend was ejected.
+    fast_failures: AtomicU64,
+}
+
+impl Backend {
+    fn new(addr: String) -> Self {
+        Self {
+            addr,
+            pool: Mutex::new(Vec::new()),
+            health: Mutex::new(Health::Healthy { consecutive_failures: 0 }),
+            calls: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            ejections: AtomicU64::new(0),
+            readmissions: AtomicU64::new(0),
+            fast_failures: AtomicU64::new(0),
+        }
+    }
+
+    fn lock_health(&self) -> std::sync::MutexGuard<'_, Health> {
+        self.health.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admission decision for one sub-batch. `Ok(())` means "go call
+    /// it"; `Err` is an immediate local refusal. When an ejection
+    /// backoff has expired, the *calling thread* runs the half-open
+    /// probe — and pessimistically re-ejects first, so concurrent
+    /// callers fail fast instead of queueing behind the probe.
+    fn admit(&self, config: &RouterConfig) -> Result<(), String> {
+        let probe_backoff = {
+            let mut health = self.lock_health();
+            match &*health {
+                Health::Healthy { .. } => return Ok(()),
+                Health::Ejected { until, backoff } => {
+                    if Instant::now() < *until {
+                        self.fast_failures.fetch_add(1, Ordering::Relaxed);
+                        return Err(format!("backend {} ejected", self.addr));
+                    }
+                    // Claim the probe: double the backoff in place so
+                    // only this thread probes this expiry.
+                    let doubled = (*backoff * 2).min(config.backoff_max);
+                    *health = Health::Ejected { until: Instant::now() + doubled, backoff: doubled };
+                    doubled
+                }
+            }
+        };
+        // Half-open probe, outside the lock.
+        let probe = HttpClient::connect_with_timeouts(
+            &self.addr,
+            config.backend_timeout,
+            config.backend_timeout,
+        )
+        .and_then(|mut client| client.get("/healthz"));
+        match probe {
+            Ok(response) if response.status == 200 => {
+                *self.lock_health() = Health::Healthy { consecutive_failures: 0 };
+                self.readmissions.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            _ => {
+                self.ejections.fetch_add(1, Ordering::Relaxed);
+                self.fast_failures.fetch_add(1, Ordering::Relaxed);
+                Err(format!(
+                    "backend {} still unhealthy (probe failed, backing off {probe_backoff:?})",
+                    self.addr
+                ))
+            }
+        }
+    }
+
+    fn record_success(&self) {
+        *self.lock_health() = Health::Healthy { consecutive_failures: 0 };
+    }
+
+    fn record_failure(&self, config: &RouterConfig) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        let mut health = self.lock_health();
+        if let Health::Healthy { consecutive_failures } = &mut *health {
+            *consecutive_failures += 1;
+            if *consecutive_failures >= config.eject_after {
+                *health = Health::Ejected {
+                    until: Instant::now() + config.backoff_initial,
+                    backoff: config.backoff_initial,
+                };
+                self.ejections.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn take_pooled(&self) -> Option<HttpClient> {
+        self.pool.lock().unwrap_or_else(PoisonError::into_inner).pop()
+    }
+
+    fn return_pooled(&self, client: HttpClient) {
+        let mut pool = self.pool.lock().unwrap_or_else(PoisonError::into_inner);
+        if pool.len() < POOL_SIZE {
+            pool.push(client);
+        }
+    }
+
+    fn drop_pool(&self) {
+        self.pool.lock().unwrap_or_else(PoisonError::into_inner).clear();
+    }
+
+    fn health_label(&self) -> (&'static str, u64) {
+        match &*self.lock_health() {
+            Health::Healthy { consecutive_failures } => {
+                ("healthy", u64::from(*consecutive_failures))
+            }
+            Health::Ejected { .. } => ("ejected", 0),
+        }
+    }
+}
+
+struct Inner {
+    map: ShardMap,
+    backends: Vec<Backend>,
+    config: RouterConfig,
+    metrics: HttpMetrics,
+    queue: Bounded<Conn>,
+    shutdown: AtomicBool,
+    /// Client envelopes handled (single or batch).
+    requests_in: AtomicU64,
+    /// Sub-batches scattered to backends.
+    fanout: AtomicU64,
+    /// Individual request entries answered with degradation.
+    degraded: AtomicU64,
+}
+
+struct Conn {
+    stream: TcpStream,
+}
+
+/// A running router; dropping it shuts down gracefully.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Binds and starts the router over a validated shard map.
+pub fn start_router(config: RouterConfig, map: ShardMap) -> std::io::Result<RouterHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = config.workers.max(1);
+    let backends = map.backends().iter().map(|a| Backend::new(a.clone())).collect();
+    let inner = Arc::new(Inner {
+        map,
+        backends,
+        metrics: HttpMetrics::default(),
+        queue: Bounded::new(config.queue_depth),
+        shutdown: AtomicBool::new(false),
+        requests_in: AtomicU64::new(0),
+        fanout: AtomicU64::new(0),
+        degraded: AtomicU64::new(0),
+        config,
+    });
+
+    let acceptor = {
+        let inner = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name("graphex-route-accept".into())
+            .spawn(move || accept_loop(listener, &inner))?
+    };
+    let worker_handles = (0..workers)
+        .map(|i| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name(format!("graphex-route-{i}"))
+                .spawn(move || worker_loop(&inner))
+        })
+        .collect::<std::io::Result<Vec<_>>>()?;
+    Ok(RouterHandle { addr, inner, acceptor: Some(acceptor), workers: worker_handles })
+}
+
+impl RouterHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// HTTP-layer metrics (what `/metrics` renders; `server_errors()` is
+    /// the zero-5xx gate).
+    pub fn metrics(&self) -> &HttpMetrics {
+        &self.inner.metrics
+    }
+
+    /// The shard map this router routes by.
+    pub fn map(&self) -> &ShardMap {
+        &self.inner.map
+    }
+
+    /// Request entries answered with router-level degradation so far.
+    pub fn degraded(&self) -> u64 {
+        self.inner.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: stop accepting, drain admitted connections,
+    /// join every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        for backend in &self.inner.backends {
+            backend.drop_pool();
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || !self.workers.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: &Inner) {
+    loop {
+        let accepted = listener.accept();
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok((stream, _peer)) = accepted else {
+            continue;
+        };
+        inner.metrics.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        if let Err(refused) = inner.queue.try_push(Conn { stream }) {
+            inner.metrics.connections_shed.fetch_add(1, Ordering::Relaxed);
+            let mut stream = refused.stream;
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+            let _ = http::write_response(
+                &mut stream,
+                429,
+                "text/plain; charset=utf-8",
+                b"shed: accept queue full\n",
+                false,
+                &[("Retry-After", "1")],
+            );
+        }
+    }
+    inner.queue.close();
+}
+
+fn worker_loop(inner: &Inner) {
+    while let Some(conn) = inner.queue.pop() {
+        // Same rationale as the backend frontend: a panic costs one
+        // connection, never a worker.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_connection(conn.stream, inner);
+        }));
+        if caught.is_err() {
+            inner.metrics.record_response(Endpoint::Other, 500);
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, inner: &Inner) {
+    let _ = stream.set_read_timeout(Some(inner.config.keep_alive_timeout));
+    let _ = stream.set_write_timeout(Some(inner.config.keep_alive_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut write_half = stream;
+    let mut requests_served = 0u64;
+
+    loop {
+        let request = match http::read_request(&mut reader, inner.config.max_body_bytes) {
+            Ok(request) => request,
+            Err(ReadError::Closed | ReadError::Io(_)) => return,
+            Err(error) => {
+                let (status, message) = match &error {
+                    ReadError::Bad(what) => (400, format!("bad request: {what}\n")),
+                    ReadError::BodyTooLarge { declared, max } => {
+                        (413, format!("body of {declared} bytes exceeds cap of {max}\n"))
+                    }
+                    ReadError::UnsupportedTransferEncoding => {
+                        (501, "transfer-encoding not supported; send content-length\n".into())
+                    }
+                    ReadError::Closed | ReadError::Io(_) => unreachable!("handled above"),
+                };
+                inner.metrics.record_response(Endpoint::Other, status);
+                let _ = http::write_response(
+                    &mut write_half,
+                    status,
+                    "text/plain; charset=utf-8",
+                    message.as_bytes(),
+                    false,
+                    &[],
+                );
+                return;
+            }
+        };
+        let started = Instant::now();
+        requests_served += 1;
+        let keep_alive = request.keep_alive()
+            && !inner.shutdown.load(Ordering::SeqCst)
+            && requests_served < MAX_KEEPALIVE_REQUESTS;
+        let (endpoint, status, content_type, body) = route(&request, inner);
+        let written = http::write_response(
+            &mut write_half,
+            status,
+            content_type,
+            body.as_bytes(),
+            keep_alive,
+            &[],
+        );
+        inner.metrics.record_response(endpoint, status);
+        if endpoint == Endpoint::Infer {
+            inner.metrics.infer_latency.record(started.elapsed());
+        }
+        if written.is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+type RoutedResponse = (Endpoint, u16, &'static str, String);
+
+fn error_response(endpoint: Endpoint, status: u16, message: impl Into<String>) -> RoutedResponse {
+    let body = Json::obj(vec![("error", Json::str(message.into()))]).render();
+    (endpoint, status, "application/json", body)
+}
+
+fn route(request: &Request, inner: &Inner) -> RoutedResponse {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            (Endpoint::Healthz, 200, "text/plain; charset=utf-8", "ok\n".into())
+        }
+        ("GET", "/statusz") => {
+            (Endpoint::Statusz, 200, "application/json", statusz(inner).render())
+        }
+        ("GET", "/metrics") => (
+            Endpoint::Metrics,
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            render_metrics(inner),
+        ),
+        ("POST", "/v1/infer") => infer(request, inner),
+        (_, "/healthz" | "/statusz" | "/metrics" | "/v1/infer") => {
+            error_response(Endpoint::Other, 405, "method not allowed")
+        }
+        _ => error_response(Endpoint::Other, 404, format!("no route for {}", request.path)),
+    }
+}
+
+/// Router `/statusz`: fan-out counters plus the per-backend health table.
+fn statusz(inner: &Inner) -> Json {
+    let backends: Vec<Json> = inner
+        .backends
+        .iter()
+        .enumerate()
+        .map(|(shard, b)| {
+            let (state, consecutive_failures) = b.health_label();
+            Json::obj(vec![
+                ("shard", Json::uint(shard as u64)),
+                ("addr", Json::str(b.addr.clone())),
+                ("state", Json::str(state)),
+                ("consecutive_failures", Json::uint(consecutive_failures)),
+                ("calls", Json::uint(b.calls.load(Ordering::Relaxed))),
+                ("failures", Json::uint(b.failures.load(Ordering::Relaxed))),
+                ("retries", Json::uint(b.retries.load(Ordering::Relaxed))),
+                ("ejections", Json::uint(b.ejections.load(Ordering::Relaxed))),
+                ("readmissions", Json::uint(b.readmissions.load(Ordering::Relaxed))),
+                ("fast_failures", Json::uint(b.fast_failures.load(Ordering::Relaxed))),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("role", Json::str("router")),
+        ("shards", Json::uint(u64::from(inner.map.shards()))),
+        ("requests_in", Json::uint(inner.requests_in.load(Ordering::Relaxed))),
+        ("fanout_subrequests", Json::uint(inner.fanout.load(Ordering::Relaxed))),
+        ("degraded", Json::uint(inner.degraded.load(Ordering::Relaxed))),
+        ("queue_depth", Json::uint(inner.queue.len() as u64)),
+        ("backends", Json::Arr(backends)),
+    ])
+}
+
+fn render_metrics(inner: &Inner) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(2048);
+    inner.metrics.render_http_families(inner.queue.len(), &mut out);
+    let _ = writeln!(out, "# TYPE graphex_router_requests_total counter");
+    let _ = writeln!(
+        out,
+        "graphex_router_requests_total {}",
+        inner.requests_in.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(out, "# TYPE graphex_router_fanout_total counter");
+    let _ =
+        writeln!(out, "graphex_router_fanout_total {}", inner.fanout.load(Ordering::Relaxed));
+    let _ = writeln!(out, "# TYPE graphex_router_degraded_total counter");
+    let _ =
+        writeln!(out, "graphex_router_degraded_total {}", inner.degraded.load(Ordering::Relaxed));
+    for family in ["calls", "failures", "retries", "ejections", "readmissions"] {
+        let _ = writeln!(out, "# TYPE graphex_router_backend_{family}_total counter");
+        for (shard, backend) in inner.backends.iter().enumerate() {
+            let value = match family {
+                "calls" => backend.calls.load(Ordering::Relaxed),
+                "failures" => backend.failures.load(Ordering::Relaxed),
+                "retries" => backend.retries.load(Ordering::Relaxed),
+                "ejections" => backend.ejections.load(Ordering::Relaxed),
+                _ => backend.readmissions.load(Ordering::Relaxed),
+            };
+            let _ = writeln!(
+                out,
+                "graphex_router_backend_{family}_total{{shard=\"{shard}\"}} {value}"
+            );
+        }
+    }
+    let _ = writeln!(out, "# TYPE graphex_router_backend_healthy gauge");
+    for (shard, backend) in inner.backends.iter().enumerate() {
+        let healthy = matches!(&*backend.lock_health(), Health::Healthy { .. });
+        let _ = writeln!(
+            out,
+            "graphex_router_backend_healthy{{shard=\"{shard}\"}} {}",
+            u8::from(healthy)
+        );
+    }
+    out
+}
+
+/// What one scattered sub-batch resolved to.
+enum SubResult {
+    /// Per-entry response objects, in sub-batch order, plus the
+    /// backend's envelope snapshot version.
+    Ok(Vec<Json>, u64),
+    /// The whole sub-batch degrades with this reason.
+    Degraded(String),
+}
+
+fn infer(request: &Request, inner: &Inner) -> RoutedResponse {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return error_response(Endpoint::Infer, 400, "body is not valid UTF-8");
+    };
+    let envelope = match json::parse(text) {
+        Ok(value) => value,
+        Err(e) => return error_response(Endpoint::Infer, 400, format!("invalid JSON: {e}")),
+    };
+    inner.requests_in.fetch_add(1, Ordering::Relaxed);
+
+    // Validate with the backend's own decoder so the router 400s exactly
+    // what a backend would — a forwarded entry is never refused
+    // downstream, which would otherwise surface as a degradation.
+    let (entries, batch): (Vec<&Json>, bool) = match envelope.get("requests") {
+        None => (vec![&envelope], false),
+        Some(Json::Arr(list)) => {
+            if list.len() > MAX_BATCH {
+                return error_response(
+                    Endpoint::Infer,
+                    400,
+                    format!("batch of {} exceeds cap of {MAX_BATCH}", list.len()),
+                );
+            }
+            (list.iter().collect(), true)
+        }
+        Some(_) => return error_response(Endpoint::Infer, 400, "\"requests\" must be an array"),
+    };
+    let mut decoded = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        match decode_one(entry) {
+            Ok(d) => decoded.push(d),
+            Err(message) => {
+                let message =
+                    if batch { format!("requests[{i}]: {message}") } else { message };
+                return error_response(Endpoint::Infer, 400, message);
+            }
+        }
+    }
+
+    // Scatter: group entry indices by owning shard, preserving order.
+    let shards = inner.map.shards() as usize;
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); shards];
+    for (i, d) in decoded.iter().enumerate() {
+        groups[inner.map.shard_for_leaf(d.leaf)].push(i);
+    }
+    let involved: Vec<usize> = (0..shards).filter(|s| !groups[*s].is_empty()).collect();
+
+    let mut results: Vec<Option<SubResult>> = Vec::new();
+    results.resize_with(shards, || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(involved.len());
+        for &shard in &involved {
+            let body = Json::obj(vec![(
+                "requests",
+                Json::Arr(groups[shard].iter().map(|&i| entries[i].clone()).collect()),
+            )])
+            .render();
+            let backend = &inner.backends[shard];
+            let expected = groups[shard].len();
+            let config = &inner.config;
+            inner.fanout.fetch_add(1, Ordering::Relaxed);
+            handles.push((
+                shard,
+                scope.spawn(move || dispatch(backend, config, &body, expected)),
+            ));
+        }
+        for (shard, handle) in handles {
+            results[shard] = Some(handle.join().unwrap_or_else(|_| {
+                SubResult::Degraded("router dispatch panicked".into())
+            }));
+        }
+    });
+
+    // Gather: merge per-entry responses back into the caller's order.
+    let mut merged: Vec<Option<Json>> = vec![None; decoded.len()];
+    let mut snapshot_version = 0u64;
+    for shard in involved {
+        let result = results[shard].take().expect("scattered shard has a result");
+        match result {
+            SubResult::Ok(responses, version) => {
+                snapshot_version = snapshot_version.max(version);
+                for (&i, response) in groups[shard].iter().zip(responses) {
+                    merged[i] = Some(response);
+                }
+            }
+            SubResult::Degraded(reason) => {
+                inner.degraded.fetch_add(groups[shard].len() as u64, Ordering::Relaxed);
+                for &i in &groups[shard] {
+                    merged[i] = Some(degraded_entry(decoded[i].id, shard, &reason));
+                }
+            }
+        }
+    }
+    let merged: Vec<Json> = merged
+        .into_iter()
+        .map(|r| r.expect("every entry was grouped onto exactly one shard"))
+        .collect();
+
+    let body = if batch {
+        Json::obj(vec![
+            ("responses", Json::Arr(merged)),
+            ("snapshot_version", Json::uint(snapshot_version)),
+        ])
+    } else {
+        merged.into_iter().next().expect("single request decoded")
+    };
+    (Endpoint::Infer, 200, "application/json", body.render())
+}
+
+/// The degraded per-request answer: same shape as a served response so
+/// batch consumers index it uniformly, with the outcome/source labels
+/// marking router-level unavailability.
+fn degraded_entry(id: Option<u64>, shard: usize, reason: &str) -> Json {
+    let mut members = vec![
+        ("outcome", Json::str(OUTCOME_BACKEND_UNAVAILABLE)),
+        ("source", Json::str(SOURCE_ROUTER_DEGRADED)),
+        ("keyphrases", Json::Arr(Vec::new())),
+        ("snapshot_version", Json::uint(0)),
+        ("shard", Json::uint(shard as u64)),
+        ("error", Json::str(reason)),
+    ];
+    if let Some(id) = id {
+        // Same >2^53 decimal-string rule as a served response.
+        let id_json = if id <= 1 << 53 { Json::uint(id) } else { Json::str(id.to_string()) };
+        members.insert(0, ("id", id_json));
+    }
+    Json::obj(members)
+}
+
+/// Sends one sub-batch to `backend` with bounded retries, validating the
+/// response down to per-entry objects. Every exit path updates the
+/// health state machine.
+fn dispatch(
+    backend: &Backend,
+    config: &RouterConfig,
+    body: &str,
+    expected: usize,
+) -> SubResult {
+    if let Err(reason) = backend.admit(config) {
+        return SubResult::Degraded(reason);
+    }
+    let mut last_error = String::new();
+    for attempt in 0..=config.retries {
+        if attempt > 0 {
+            backend.retries.fetch_add(1, Ordering::Relaxed);
+        }
+        backend.calls.fetch_add(1, Ordering::Relaxed);
+        match dispatch_once(backend, config, body, expected, attempt > 0) {
+            Ok((responses, version)) => {
+                backend.record_success();
+                return SubResult::Ok(responses, version);
+            }
+            Err(reason) => {
+                backend.record_failure(config);
+                last_error = reason;
+                // Ejection mid-retry-loop stops further attempts: the
+                // state machine has spoken.
+                if matches!(&*backend.lock_health(), Health::Ejected { .. }) {
+                    break;
+                }
+            }
+        }
+    }
+    SubResult::Degraded(format!("backend {}: {last_error}", backend.addr))
+}
+
+/// One attempt: pooled connection first (unless `fresh`), falling back
+/// to a new connect. A pooled connection that fails is simply dropped —
+/// the backend may have closed it between requests (keep-alive cap,
+/// restart), which must never surface to the client while retries
+/// remain.
+fn dispatch_once(
+    backend: &Backend,
+    config: &RouterConfig,
+    body: &str,
+    expected: usize,
+    fresh: bool,
+) -> Result<(Vec<Json>, u64), String> {
+    let mut client = match if fresh { None } else { backend.take_pooled() } {
+        Some(client) => client,
+        None => {
+            let mut client = HttpClient::connect_with_timeouts(
+                &backend.addr,
+                config.backend_timeout,
+                config.backend_timeout,
+            )
+            .map_err(|e| format!("connect: {e}"))?;
+            client.set_max_response_bytes(config.max_response_bytes);
+            client
+        }
+    };
+    let response = client.post_json("/v1/infer", body).map_err(|e| format!("call: {e}"))?;
+    let reusable =
+        response.header("connection").map_or(true, |v| !v.eq_ignore_ascii_case("close"));
+    if response.status != 200 {
+        return Err(format!("HTTP {}", response.status));
+    }
+    let parsed = json::parse(&response.text())
+        .map_err(|e| format!("unparsable backend response: {e}"))?;
+    let responses = parsed
+        .get("responses")
+        .and_then(Json::as_arr)
+        .ok_or("backend response missing \"responses\"")?;
+    if responses.len() != expected {
+        // A shard-map/backend mismatch shows up exactly here: the
+        // backend answered a different number of entries than asked.
+        return Err(format!(
+            "backend answered {} responses for {expected} requests (mismatched shard map?)",
+            responses.len()
+        ));
+    }
+    let version = parsed.get("snapshot_version").and_then(Json::as_u64).unwrap_or(0);
+    let out = responses.to_vec();
+    if reusable {
+        backend.return_pooled(client);
+    }
+    Ok((out, version))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config() -> RouterConfig {
+        RouterConfig {
+            backoff_initial: Duration::from_millis(50),
+            backoff_max: Duration::from_millis(400),
+            eject_after: 2,
+            ..RouterConfig::default()
+        }
+    }
+
+    #[test]
+    fn ejection_after_k_consecutive_failures_then_fast_fail() {
+        // Point at a dead port: record_failure drives the state machine
+        // without any network.
+        let backend = Backend::new("127.0.0.1:1".into());
+        let config = test_config();
+        assert!(backend.admit(&config).is_ok());
+        backend.record_failure(&config);
+        assert!(backend.admit(&config).is_ok(), "one failure is not ejection");
+        backend.record_failure(&config);
+        assert!(matches!(&*backend.lock_health(), Health::Ejected { .. }));
+        assert_eq!(backend.ejections.load(Ordering::Relaxed), 1);
+        assert!(backend.admit(&config).is_err(), "ejected backends fail fast");
+        assert_eq!(backend.fast_failures.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn expired_backoff_probes_and_reejects_with_doubled_backoff() {
+        let backend = Backend::new("127.0.0.1:1".into()); // nothing listens
+        let config = test_config();
+        backend.record_failure(&config);
+        backend.record_failure(&config);
+        std::thread::sleep(config.backoff_initial + Duration::from_millis(20));
+        // Backoff expired → this call runs the half-open probe, which
+        // fails (dead port) → re-ejected with doubled backoff.
+        assert!(backend.admit(&config).is_err());
+        assert_eq!(backend.readmissions.load(Ordering::Relaxed), 0);
+        assert_eq!(backend.ejections.load(Ordering::Relaxed), 2);
+        match &*backend.lock_health() {
+            Health::Ejected { backoff, .. } => {
+                assert_eq!(*backoff, config.backoff_initial * 2);
+            }
+            other => panic!("expected ejected, got {other:?}"),
+        };
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let backend = Backend::new("127.0.0.1:1".into());
+        let config = test_config();
+        backend.record_failure(&config);
+        backend.record_success();
+        backend.record_failure(&config);
+        assert!(
+            matches!(&*backend.lock_health(), Health::Healthy { consecutive_failures: 1 }),
+            "failures must be consecutive to eject"
+        );
+    }
+
+    #[test]
+    fn degraded_entry_shape_and_id_rules() {
+        let small = degraded_entry(Some(7), 2, "down");
+        assert_eq!(small.get("id").unwrap().as_u64(), Some(7));
+        assert_eq!(
+            small.get("outcome").unwrap().as_str(),
+            Some(OUTCOME_BACKEND_UNAVAILABLE)
+        );
+        assert_eq!(small.get("source").unwrap().as_str(), Some(SOURCE_ROUTER_DEGRADED));
+        assert_eq!(small.get("keyphrases").unwrap().as_arr().unwrap().len(), 0);
+        let big = degraded_entry(Some(u64::MAX), 0, "down");
+        assert_eq!(big.get("id").unwrap().as_str(), Some(u64::MAX.to_string().as_str()));
+        assert!(degraded_entry(None, 0, "down").get("id").is_none());
+    }
+}

@@ -465,12 +465,14 @@ fn infer(request: &Request, started: Instant, inner: &Inner) -> Routed {
 }
 
 /// One decoded infer envelope (owns the strings the borrowed
-/// [`InferRequest`] points into).
-struct Decoded {
+/// [`InferRequest`] points into). `pub(crate)` so the router validates
+/// client envelopes with exactly the backend's rules — a request the
+/// router forwards is never one a backend would 400.
+pub(crate) struct Decoded {
     title: String,
-    leaf: u32,
+    pub(crate) leaf: u32,
     k: Option<usize>,
-    id: Option<u64>,
+    pub(crate) id: Option<u64>,
     alignment: Option<Alignment>,
 }
 
@@ -491,7 +493,7 @@ impl Decoded {
     }
 }
 
-fn decode_one(value: &Json) -> Result<Decoded, String> {
+pub(crate) fn decode_one(value: &Json) -> Result<Decoded, String> {
     if !matches!(value, Json::Obj(_)) {
         return Err("request must be a JSON object".into());
     }
