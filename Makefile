@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test doc clippy bench-smoke bench bench-snapshot serve-smoke bench-http bench-build bench-cluster cluster-smoke ci
+.PHONY: build test doc clippy bench-smoke bench bench-snapshot serve-smoke bench-http bench-build bench-cluster bench-tenancy cluster-smoke ci
 
 # Tier-1 gate, part 1.
 build:
@@ -61,6 +61,13 @@ bench-cluster:
 	$(CARGO) run --release -p graphex-bench --bin clusterbench -- \
 	  --requests 3000 --connections 4 \
 	  --output BENCH_cluster.json --date $$(date +%Y-%m-%d)
+
+# Multi-tenant serving: fleet cold-start latency and resident bytes at
+# 1/4/16 tenants, mmap vs heap snapshot backend (cold admit, evict-all,
+# page-cache-warm re-admit). Records the BENCH_tenancy.json datapoint.
+bench-tenancy:
+	$(CARGO) run --release -p graphex-bench --bin tenancybench -- \
+	  --output BENCH_tenancy.json --date $$(date +%Y-%m-%d)
 
 # Cluster smoke: build -> per-shard snapshots -> 3 backends + router,
 # then the sharded≡monolith, rolling-swap zero-5xx, and health gates.

@@ -21,6 +21,7 @@ const SWITCHES: &[&str] = &[
     "smoke",
     "json",
     "strict",
+    "heap",
 ];
 
 impl ParsedArgs {

@@ -11,6 +11,7 @@ pub mod route;
 pub mod serve;
 pub mod simulate;
 pub mod stats;
+pub mod tenant;
 
 use crate::args::ParsedArgs;
 use graphex_core::{GraphExModel, LeafId};

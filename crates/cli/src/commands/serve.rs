@@ -1,8 +1,11 @@
 //! `graphex serve` — boot the HTTP/1.1 network frontend over a model
-//! file (`--model`, fixed snapshot) or a registry root (`--root`,
+//! file (`--model`, fixed snapshot), a registry root (`--root`,
 //! hot-swap: the server polls `CURRENT` and activates republished
 //! snapshots under live traffic, so `graphex model publish`/`rollback`
-//! from another process propagates without restart).
+//! from another process propagates without restart), or a multi-tenant
+//! fleet root (`--tenants`, path-multiplexed: `POST /v1/t/<name>/infer`
+//! per tenant, `--resident N` caps how many are loaded at once, and one
+//! poll loop hot-swaps every resident tenant).
 //!
 //! `--smoke` boots on an ephemeral port with a built-in demo model, runs
 //! a client against all four endpoints (including malformed-request
@@ -10,8 +13,9 @@
 //! gate behind `make serve-smoke`.
 
 use crate::args::ParsedArgs;
+use graphex_core::serialize::LoadMode;
 use graphex_core::{Engine, GraphExBuilder, GraphExConfig, KeyphraseRecord, LeafId};
-use graphex_serving::{KvStore, ModelRegistry, ModelWatch, ServingApi, SwapPolicy};
+use graphex_serving::{FleetConfig, KvStore, ModelRegistry, ModelWatch, ServingApi, SwapPolicy, TenantFleet};
 use graphex_server::{HttpClient, ServerConfig};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -29,6 +33,13 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     } else {
         SwapPolicy::Serve
     };
+
+    if let Some(tenants_root) = args.get("tenants") {
+        if args.get("model").is_some() || args.get("root").is_some() {
+            return Err("pass --tenants, --root, or --model — not a combination".into());
+        }
+        return serve_fleet(args, config, tenants_root, default_k, policy);
+    }
 
     let (watch, registry) = match (args.get("model"), args.get("root")) {
         (Some(_), Some(_)) => return Err("pass --model or --root, not both".into()),
@@ -81,6 +92,54 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
     // Fixed-model mode: serve until the process is killed.
     loop {
         std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// `--tenants <root>`: boot the path-multiplexed fleet frontend. One
+/// poll loop drives hot swaps for every resident tenant.
+fn serve_fleet(
+    args: &ParsedArgs,
+    config: ServerConfig,
+    tenants_root: &str,
+    default_k: usize,
+    policy: SwapPolicy,
+) -> Result<String, String> {
+    let fleet_config = FleetConfig {
+        resident_cap: args.get_num::<usize>("resident", 4)?,
+        default_k,
+        load_mode: if args.switch("heap") { LoadMode::Heap } else { LoadMode::Mmap },
+        swap_policy: policy,
+        default_tenant: args.get("default-tenant").unwrap_or("default").to_string(),
+    };
+    let fleet = Arc::new(
+        TenantFleet::open(tenants_root, fleet_config)
+            .map_err(|e| format!("open fleet {tenants_root}: {e}"))?,
+    );
+    let names = fleet.names();
+    let server = graphex_server::start_fleet(config, Arc::clone(&fleet))
+        .map_err(|e| format!("bind {}: {e}", args.get("addr").unwrap_or("127.0.0.1:7878")))?;
+    println!(
+        "graphex-server (fleet) listening on http://{} — {} tenants, resident cap {}, {} backend",
+        server.addr(),
+        names.len(),
+        fleet.config().resident_cap,
+        fleet.config().load_mode,
+    );
+    println!("tenants: {}", if names.is_empty() { "(none yet)".into() } else { names.join(", ") });
+    println!(
+        "endpoints: POST /v1/t/<tenant>/infer  POST /v1/infer (tenant {:?})  GET /healthz  GET /statusz  GET /metrics",
+        fleet.default_tenant()
+    );
+
+    let poll = Duration::from_millis(args.get_num::<u64>("poll-ms", 2000)?.max(100));
+    loop {
+        std::thread::sleep(poll);
+        for (tenant, result) in fleet.poll_publishes() {
+            match result {
+                Ok(version) => println!("tenant {tenant}: hot-swapped to snapshot_version {version}"),
+                Err(e) => eprintln!("tenant {tenant}: activation failed: {e} (still serving)"),
+            }
+        }
     }
 }
 

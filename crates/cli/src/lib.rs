@@ -31,10 +31,17 @@ pub fn usage() -> &'static str {
   graphex model    inspect  (--root <dir> [--version N] | --model <file>)
   graphex model    verify   (--root <dir> [--version N] | --model <file>)
   graphex model    gc       --root <dir> [--keep N]
-  graphex serve    (--model <model.gexm> | --root <dir>) [--addr host:port]
-                   [--workers N] [--queue N] [--k N] [--deadline-ms N]
-                   [--max-body BYTES] [--poll-ms N] [--invalidate-on-swap]
-                   [--smoke]
+  graphex serve    (--model <model.gexm> | --root <dir> | --tenants <dir>)
+                   [--resident N] [--default-tenant <name>] [--heap]
+                   [--addr host:port] [--workers N] [--queue N] [--k N]
+                   [--deadline-ms N] [--max-body BYTES] [--poll-ms N]
+                   [--invalidate-on-swap] [--smoke]
+  graphex tenant   list    --tenants <dir>
+  graphex tenant   publish --tenants <dir> --name <tenant> --input <model.gexm>
+                           [--note <text>]
+  graphex tenant   evict   --tenants <dir> --name <tenant>
+  graphex tenant   stats   (--server <host:port> [--name <tenant>]
+                            | --tenants <dir> --name <tenant>)
   graphex route    (--map <file> | --backends <addr,addr,…>)
                    [--addr host:port] [--workers N] [--queue N]
                    [--backend-timeout-ms N] [--retries N] [--eject-after N]
@@ -58,6 +65,10 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
     if command == "cluster" {
         // `cluster` too (up|smoke).
         return commands::cluster::run(rest);
+    }
+    if command == "tenant" {
+        // `tenant` too (list|publish|evict|stats).
+        return commands::tenant::run(rest);
     }
     let parsed = ParsedArgs::parse(rest)?;
     match command.as_str() {

@@ -46,6 +46,29 @@ impl From<std::io::Error> for GraphExError {
     }
 }
 
+impl GraphExError {
+    /// Attaches the offending file path to an error produced while
+    /// loading `path`, so "checksum mismatch" in a fleet of tenants
+    /// names which snapshot is corrupt.
+    ///
+    /// The variant is preserved — `Io` keeps its [`std::io::ErrorKind`]
+    /// and `Corrupt` stays `Corrupt` with the path prefixed into the
+    /// message — so callers matching on variants (or error kinds) are
+    /// unaffected. Variants that carry no message pass through
+    /// unchanged.
+    pub fn with_path(self, path: impl AsRef<std::path::Path>) -> Self {
+        let path = path.as_ref().display();
+        match self {
+            Self::Io(e) => {
+                let kind = e.kind();
+                Self::Io(std::io::Error::new(kind, format!("{path}: {e}")))
+            }
+            Self::Corrupt(what) => Self::Corrupt(format!("{path}: {what}")),
+            other => other,
+        }
+    }
+}
+
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, GraphExError>;
 

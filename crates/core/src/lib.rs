@@ -90,6 +90,7 @@ pub use error::GraphExError;
 pub use explain::ExplainedPrediction;
 pub use inference::{InferenceParams, Prediction, Scratch};
 pub use model::{GraphExModel, ModelStats};
+pub use serialize::LoadMode;
 pub use service::{
     Engine, InferRequest, InferResponse, KeyphraseService, Outcome, OutcomeCounts, ScratchPool,
     Session,

@@ -560,9 +560,83 @@ pub fn write_bytes_to(bytes: &[u8], path: impl AsRef<Path>) -> Result<()> {
 ///
 /// The file is read straight into an 8-byte-aligned buffer, so a v2
 /// snapshot loads zero-copy: the returned model's CSR/label/score arrays
-/// borrow from that single buffer for the model's lifetime.
+/// borrow from that single buffer for the model's lifetime. See
+/// [`load_snapshot`] for the mmap-backed variant.
+///
+/// Errors name the offending file: the path is threaded into `Io` and
+/// `Corrupt` payloads (variants are preserved).
 pub fn load_from(path: impl AsRef<Path>) -> Result<GraphExModel> {
-    from_shared(read_aligned(path)?)
+    let path = path.as_ref();
+    read_aligned(path)
+        .and_then(from_shared)
+        .map_err(|e| e.with_path(path))
+}
+
+/// How a snapshot's backing buffer is (or should be) held in memory.
+///
+/// As a *request* (to [`read_snapshot`]/[`load_snapshot`] or the
+/// serving registry), `Mmap` means "map if the platform can, fall back
+/// to a heap read", and `Heap` forces the read. As a *result*, it
+/// reports which backend actually served the load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadMode {
+    /// Borrow the file straight off the page cache via `mmap`. Cold
+    /// start touches only the pages inference actually reads, and all
+    /// processes mapping one snapshot share physical memory.
+    #[default]
+    Mmap,
+    /// Copy the whole file into an anonymous 8-aligned heap buffer.
+    Heap,
+}
+
+impl LoadMode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LoadMode::Mmap => "mmap",
+            LoadMode::Heap => "heap",
+        }
+    }
+}
+
+impl std::fmt::Display for LoadMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Reads a model from `path` with the requested storage backend,
+/// returning the backend that actually served it.
+///
+/// Both paths hand [`from_shared`] an 8-aligned buffer (mmap bases are
+/// page-aligned; the heap path uses [`AlignedBuf`]), so a v2 snapshot
+/// loads zero-copy either way and the checksum preflight runs before
+/// any version dispatch regardless of backend. A failed `mmap` —
+/// unsupported target, exotic filesystem — degrades to the heap read
+/// rather than erroring.
+///
+/// The mmap path requires the file to be immutable while the model is
+/// alive (truncation would fault); the registry upholds this by mapping
+/// only published, staged-then-renamed snapshots.
+pub fn load_snapshot(path: impl AsRef<Path>, prefer: LoadMode) -> Result<(GraphExModel, LoadMode)> {
+    let path = path.as_ref();
+    let (bytes, mode) = read_snapshot(path, prefer)?;
+    let model = from_shared(bytes).map_err(|e| e.with_path(path))?;
+    Ok((model, mode))
+}
+
+/// Reads a whole file into a shared buffer via the requested backend
+/// (mmap with heap fallback, or heap directly), reporting which one was
+/// used. Errors carry the file path.
+pub fn read_snapshot(path: impl AsRef<Path>, prefer: LoadMode) -> Result<(Bytes, LoadMode)> {
+    let path = path.as_ref();
+    if prefer == LoadMode::Mmap {
+        let file = std::fs::File::open(path).map_err(|e| GraphExError::from(e).with_path(path))?;
+        if let Ok(map) = memmap::Mmap::map(&file) {
+            return Ok((Bytes::from_owner(map), LoadMode::Mmap));
+        }
+    }
+    let bytes = read_aligned(path).map_err(|e| e.with_path(path))?;
+    Ok((bytes, LoadMode::Heap))
 }
 
 /// Reads a whole file into an aligned shared buffer (the v2 load buffer).
@@ -917,6 +991,59 @@ mod tests {
         assert_eq!(restored.num_keyphrases(), model.num_keyphrases());
         assert!(restored.leaf_ids().all(|l| restored.leaf_graph(l).unwrap().is_zero_copy()));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_load_is_zero_copy_and_inference_identical_to_heap() {
+        let model = sample_model();
+        let dir = std::env::temp_dir().join(format!("graphex-mmap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.gexm");
+        save_to(&model, &path).unwrap();
+
+        let (mapped, mode) = load_snapshot(&path, LoadMode::Mmap).unwrap();
+        assert_eq!(mode, LoadMode::Mmap, "linux container should serve the mmap path");
+        assert!(mapped.leaf_ids().all(|l| mapped.leaf_graph(l).unwrap().is_zero_copy()));
+
+        let (heaped, heap_mode) = load_snapshot(&path, LoadMode::Heap).unwrap();
+        assert_eq!(heap_mode, LoadMode::Heap);
+        assert_eq!(infer_outputs(&mapped), infer_outputs(&heaped));
+        assert_eq!(infer_outputs(&mapped), infer_outputs(&model));
+
+        // The mapping outlives the file on disk.
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(infer_outputs(&mapped), infer_outputs(&model));
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn load_errors_name_the_file() {
+        let dir = std::env::temp_dir().join(format!("graphex-loaderr-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.gexm");
+
+        // Corrupt file: path prefixed, variant preserved.
+        std::fs::write(&path, b"definitely not a model").unwrap();
+        for prefer in [LoadMode::Mmap, LoadMode::Heap] {
+            let err = load_snapshot(&path, prefer).unwrap_err();
+            assert!(matches!(err, GraphExError::Corrupt(_)), "{err}");
+            assert!(err.to_string().contains("bad.gexm"), "{err}");
+        }
+        let err = load_from(&path).unwrap_err();
+        assert!(matches!(err, GraphExError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("bad.gexm"), "{err}");
+
+        // Missing file: path threaded, io kind preserved.
+        let missing = dir.join("missing.gexm");
+        let err = load_snapshot(&missing, LoadMode::Mmap).unwrap_err();
+        match &err {
+            GraphExError::Io(io) => assert_eq!(io.kind(), std::io::ErrorKind::NotFound),
+            other => panic!("expected Io, got {other}"),
+        }
+        assert!(err.to_string().contains("missing.gexm"), "{err}");
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
     }
 
     #[test]

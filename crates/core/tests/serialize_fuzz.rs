@@ -96,6 +96,41 @@ proptest! {
         let shared = bytes::Bytes::from_owner(graphex_core::storage::AlignedBuf::copy_from(&bytes));
         assert_corrupt(serialize::from_shared(shared), "v2 shared flip");
     }
+
+    /// The mmap load path holds the same guarantee: a bit-flipped or
+    /// truncated snapshot *file*, loaded through `load_snapshot` with
+    /// either backend preference, is `Corrupt` (naming the file), never
+    /// a panic or a bogus `UnsupportedVersion`.
+    #[test]
+    fn mapped_flips_and_truncations_are_corrupt(pos in 0usize..100_000, xor in 1u8..=255, cut in 0usize..100_000, heap in any::<bool>()) {
+        let mut bytes = sample_bytes_v2();
+        let idx = pos % bytes.len();
+        bytes[idx] ^= xor;
+        let prefer = if heap { serialize::LoadMode::Heap } else { serialize::LoadMode::Mmap };
+
+        let path = fuzz_file("flip", &bytes);
+        match serialize::load_snapshot(&path, prefer) {
+            Err(GraphExError::Corrupt(what)) => prop_assert!(what.contains("fuzz-flip"), "path missing: {what}"),
+            other => prop_assert!(false, "mapped flip: expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+
+        let bytes = sample_bytes_v2();
+        let path = fuzz_file("cut", &bytes[..cut % bytes.len()]);
+        match serialize::load_snapshot(&path, prefer) {
+            Err(GraphExError::Corrupt(_)) => {}
+            other => prop_assert!(false, "mapped truncation: expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Writes fuzz bytes to a per-process temp file (proptest runs cases
+/// sequentially, so one file per label cannot race within a test).
+fn fuzz_file(label: &str, bytes: &[u8]) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("graphex-fuzz-{label}-{}.gexm", std::process::id()));
+    std::fs::write(&path, bytes).expect("write fuzz file");
+    path
 }
 
 #[test]

@@ -72,5 +72,5 @@ pub use metrics::{Endpoint, HttpMetrics, LatencyHistogram};
 pub use router::{
     start_router, RouterConfig, RouterHandle, OUTCOME_BACKEND_UNAVAILABLE, SOURCE_ROUTER_DEGRADED,
 };
-pub use server::{start, ServerConfig, ServerHandle, MAX_BATCH};
+pub use server::{start, start_fleet, Backend, ServerConfig, ServerHandle, MAX_BATCH};
 pub use shardmap::ShardMap;

@@ -145,6 +145,114 @@ impl HttpMetrics {
         self.infer_latency.render("graphex_request_duration_seconds", out);
     }
 
+    /// Renders the fleet-mode `/metrics` exposition: HTTP-layer
+    /// families plus per-tenant serving counters (every family carries
+    /// a `tenant` label; cold tenants keep exporting their folded
+    /// lifetime counters so eviction never zeroes a time series).
+    pub fn render_prometheus_fleet(
+        &self,
+        fleet: &graphex_serving::TenantFleet,
+        queue_depth: usize,
+    ) -> String {
+        let tenants = fleet.list();
+        let mut out = String::with_capacity(2048 + tenants.len() * 512);
+        self.render_http_families(queue_depth, &mut out);
+
+        let _ = writeln!(out, "# TYPE graphex_fleet_resident gauge");
+        let _ = writeln!(
+            out,
+            "graphex_fleet_resident {}",
+            tenants.iter().filter(|t| t.resident).count()
+        );
+        let _ = writeln!(out, "# TYPE graphex_fleet_resident_cap gauge");
+        let _ = writeln!(out, "graphex_fleet_resident_cap {}", fleet.config().resident_cap);
+        let _ = writeln!(out, "# TYPE graphex_fleet_resident_bytes gauge");
+        let _ = writeln!(
+            out,
+            "graphex_fleet_resident_bytes {}",
+            tenants.iter().map(|t| t.resident_bytes).sum::<u64>()
+        );
+
+        let _ = writeln!(out, "# TYPE graphex_tenant_resident gauge");
+        for t in &tenants {
+            let _ = writeln!(
+                out,
+                "graphex_tenant_resident{{tenant=\"{}\"}} {}",
+                t.name,
+                u8::from(t.resident)
+            );
+        }
+        let _ = writeln!(out, "# TYPE graphex_tenant_resident_bytes gauge");
+        for t in &tenants {
+            let _ = writeln!(
+                out,
+                "graphex_tenant_resident_bytes{{tenant=\"{}\"}} {}",
+                t.name, t.resident_bytes
+            );
+        }
+        let _ = writeln!(out, "# TYPE graphex_tenant_snapshot_version gauge");
+        for t in &tenants {
+            let _ = writeln!(
+                out,
+                "graphex_tenant_snapshot_version{{tenant=\"{}\"}} {}",
+                t.name, t.snapshot_version
+            );
+        }
+        let _ = writeln!(out, "# TYPE graphex_tenant_admissions_total counter");
+        for t in &tenants {
+            let _ = writeln!(
+                out,
+                "graphex_tenant_admissions_total{{tenant=\"{}\"}} {}",
+                t.name, t.admissions
+            );
+        }
+        let _ = writeln!(out, "# TYPE graphex_tenant_evictions_total counter");
+        for t in &tenants {
+            let _ = writeln!(
+                out,
+                "graphex_tenant_evictions_total{{tenant=\"{}\"}} {}",
+                t.name, t.evictions
+            );
+        }
+        let _ = writeln!(out, "# TYPE graphex_tenant_serve_source_total counter");
+        for t in &tenants {
+            for (label, n) in [
+                ("store_hit", t.stats.store_hits),
+                ("read_through", t.stats.read_throughs),
+                ("coalesced", t.stats.coalesced),
+                ("direct", t.stats.direct),
+                ("unservable", t.stats.unservable),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "graphex_tenant_serve_source_total{{tenant=\"{}\",source=\"{label}\"}} {n}",
+                    t.name
+                );
+            }
+        }
+        let _ = writeln!(out, "# TYPE graphex_tenant_serve_outcome_total counter");
+        for t in &tenants {
+            for outcome in graphex_core::Outcome::ALL {
+                let _ = writeln!(
+                    out,
+                    "graphex_tenant_serve_outcome_total{{tenant=\"{}\",outcome=\"{}\"}} {}",
+                    t.name,
+                    outcome.name(),
+                    t.stats.outcomes.of(outcome)
+                );
+            }
+        }
+        let _ = writeln!(out, "# TYPE graphex_tenant_model_swaps_total counter");
+        for t in &tenants {
+            let _ = writeln!(
+                out,
+                "graphex_tenant_model_swaps_total{{tenant=\"{}\"}} {}",
+                t.name, t.stats.model_swaps
+            );
+        }
+        out
+    }
+
     /// Renders the Prometheus text exposition for `/metrics`: HTTP-layer
     /// counters plus the serving-layer [`ServeStats`] passed in.
     pub fn render_prometheus(&self, serve: &ServeStats, queue_depth: usize) -> String {

@@ -27,7 +27,7 @@ use crate::json::{self, Json};
 use crate::metrics::{Endpoint, HttpMetrics};
 use crate::queue::Bounded;
 use graphex_core::{Alignment, InferRequest};
-use graphex_serving::{ServeSource, ServeStats, Served, ServingApi};
+use graphex_serving::{FleetError, ServeSource, ServeStats, Served, ServingApi, TenantFleet};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -87,8 +87,28 @@ struct Conn {
     enqueued_at: Instant,
 }
 
+/// What answers inference behind this frontend: one serving api, or a
+/// tenant fleet multiplexed by request path (`POST /v1/t/<name>/infer`;
+/// the legacy un-prefixed path serves the fleet's default tenant).
+pub enum Backend {
+    Single(Arc<ServingApi>),
+    Fleet(Arc<TenantFleet>),
+}
+
+impl Backend {
+    /// Connection-level shed (429 before any routing): in single mode
+    /// the one api's counter takes it; in fleet mode no tenant can be
+    /// blamed yet, so only the HTTP-layer `connections_shed` counter
+    /// (recorded by the caller) sees it.
+    fn note_shed(&self) {
+        if let Backend::Single(api) = self {
+            api.note_shed();
+        }
+    }
+}
+
 struct Inner {
-    api: Arc<ServingApi>,
+    backend: Backend,
     metrics: HttpMetrics,
     queue: Bounded<Conn>,
     shutdown: AtomicBool,
@@ -105,11 +125,24 @@ pub struct ServerHandle {
 
 /// Binds and starts the frontend over a shared [`ServingApi`].
 pub fn start(config: ServerConfig, api: Arc<ServingApi>) -> std::io::Result<ServerHandle> {
+    start_backend(config, Backend::Single(api))
+}
+
+/// Binds and starts the frontend over a [`TenantFleet`]: requests to
+/// `POST /v1/t/<tenant>/infer` route (and lazily admit) per tenant,
+/// the legacy `POST /v1/infer` path serves the fleet's default tenant,
+/// `/statusz` carries the fleet table, and `/metrics` exports
+/// per-tenant counters.
+pub fn start_fleet(config: ServerConfig, fleet: Arc<TenantFleet>) -> std::io::Result<ServerHandle> {
+    start_backend(config, Backend::Fleet(fleet))
+}
+
+fn start_backend(config: ServerConfig, backend: Backend) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let workers = config.workers.max(1);
     let inner = Arc::new(Inner {
-        api,
+        backend,
         metrics: HttpMetrics::default(),
         queue: Bounded::new(config.queue_depth),
         shutdown: AtomicBool::new(false),
@@ -140,9 +173,26 @@ impl ServerHandle {
         self.addr
     }
 
-    /// The serving facade behind this frontend (counter access).
+    /// The serving facade behind a single-api frontend (counter
+    /// access).
+    ///
+    /// # Panics
+    ///
+    /// On a fleet-mode server — per-tenant apis live behind
+    /// [`ServerHandle::fleet`].
     pub fn api(&self) -> &Arc<ServingApi> {
-        &self.inner.api
+        match &self.inner.backend {
+            Backend::Single(api) => api,
+            Backend::Fleet(_) => panic!("fleet-mode server has no single api; use fleet()"),
+        }
+    }
+
+    /// The tenant fleet behind a fleet-mode frontend.
+    pub fn fleet(&self) -> Option<&Arc<TenantFleet>> {
+        match &self.inner.backend {
+            Backend::Single(_) => None,
+            Backend::Fleet(fleet) => Some(fleet),
+        }
     }
 
     /// HTTP-layer metrics (what `/metrics` renders).
@@ -195,7 +245,7 @@ fn accept_loop(listener: TcpListener, inner: &Inner) {
         if let Err(refused) = inner.queue.try_push(conn) {
             // Admission control: the queue is full (or shutting down) —
             // shed with 429 instead of buffering or hanging.
-            inner.api.note_shed();
+            inner.backend.note_shed();
             inner.metrics.connections_shed.fetch_add(1, Ordering::Relaxed);
             let mut stream = refused.stream;
             // The refusal is ~200 bytes into a fresh connection's empty
@@ -337,27 +387,42 @@ impl Routed {
     }
 }
 
+/// Splits a tenant-scoped inference path: `/v1/t/<tenant>/infer` →
+/// `Some(tenant)`. The tenant segment is not validated here — the
+/// fleet refuses bad names with a 404.
+fn tenant_path(path: &str) -> Option<&str> {
+    path.strip_prefix("/v1/t/")?.strip_suffix("/infer").filter(|t| !t.contains('/'))
+}
+
 fn route(request: &Request, started: Instant, inner: &Inner) -> Routed {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
             Routed::new(Endpoint::Healthz, 200, "text/plain; charset=utf-8", "ok\n".into())
         }
-        ("GET", "/statusz") => {
-            Routed::json(Endpoint::Statusz, 200, &statusz(&inner.api.stats(), inner))
-        }
+        ("GET", "/statusz") => Routed::json(Endpoint::Statusz, 200, &statusz(inner)),
         ("GET", "/metrics") => Routed::new(
             Endpoint::Metrics,
             200,
             "text/plain; version=0.0.4; charset=utf-8",
-            inner.metrics.render_prometheus(&inner.api.stats(), inner.queue.len()),
+            match &inner.backend {
+                Backend::Single(api) => {
+                    inner.metrics.render_prometheus(&api.stats(), inner.queue.len())
+                }
+                Backend::Fleet(fleet) => {
+                    inner.metrics.render_prometheus_fleet(fleet, inner.queue.len())
+                }
+            },
         ),
-        ("POST", "/v1/infer") => infer(request, started, inner),
+        ("POST", "/v1/infer") => infer(request, started, inner, None),
+        ("POST", path) if tenant_path(path).is_some() => {
+            infer(request, started, inner, tenant_path(path))
+        }
         (_, "/healthz" | "/statusz" | "/metrics") => {
             let mut routed = Routed::error(Endpoint::Other, 405, "method not allowed");
             routed.extra_headers.push(("Allow", "GET"));
             routed
         }
-        (_, "/v1/infer") => {
+        (_, path) if path == "/v1/infer" || tenant_path(path).is_some() => {
             let mut routed = Routed::error(Endpoint::Other, 405, "method not allowed");
             routed.extra_headers.push(("Allow", "POST"));
             routed
@@ -366,8 +431,16 @@ fn route(request: &Request, started: Instant, inner: &Inner) -> Routed {
     }
 }
 
-/// The `/statusz` payload: [`ServeStats`] plus queue/config gauges.
-fn statusz(stats: &ServeStats, inner: &Inner) -> Json {
+/// The `/statusz` payload: [`ServeStats`] plus queue/config gauges for
+/// a single-api server, extended with the fleet table in fleet mode.
+fn statusz(inner: &Inner) -> Json {
+    match &inner.backend {
+        Backend::Single(api) => statusz_single(&api.stats(), inner),
+        Backend::Fleet(fleet) => statusz_fleet(fleet, inner),
+    }
+}
+
+fn statusz_single(stats: &ServeStats, inner: &Inner) -> Json {
     Json::obj(vec![
         ("snapshot_version", Json::uint(stats.snapshot_version)),
         ("model_swaps", Json::uint(stats.model_swaps)),
@@ -394,12 +467,85 @@ fn statusz(stats: &ServeStats, inner: &Inner) -> Json {
     ])
 }
 
-fn infer(request: &Request, started: Instant, inner: &Inner) -> Routed {
+/// Fleet-mode `/statusz`: residency gauges plus one table row per
+/// tenant (cold tenants included — their folded lifetime counters
+/// survive eviction).
+fn statusz_fleet(fleet: &TenantFleet, inner: &Inner) -> Json {
+    let tenants = fleet.list();
+    let rows: Vec<Json> = tenants
+        .iter()
+        .map(|t| {
+            Json::obj(vec![
+                ("name", Json::str(t.name.clone())),
+                ("resident", Json::Bool(t.resident)),
+                ("snapshot_version", Json::uint(t.snapshot_version)),
+                (
+                    "load_mode",
+                    match t.load_mode {
+                        Some(mode) => Json::str(mode.as_str()),
+                        None => Json::str("cold"),
+                    },
+                ),
+                ("resident_bytes", Json::uint(t.resident_bytes)),
+                ("admissions", Json::uint(t.admissions)),
+                ("evictions", Json::uint(t.evictions)),
+                (
+                    "admitted_in_us",
+                    Json::uint(t.admitted_in.map_or(0, |d| d.as_micros() as u64)),
+                ),
+                ("requests", Json::uint(t.stats.outcomes.total())),
+                ("store_hits", Json::uint(t.stats.store_hits)),
+                ("read_throughs", Json::uint(t.stats.read_throughs)),
+                ("in_flight", Json::uint(t.stats.in_flight)),
+                ("model_swaps", Json::uint(t.stats.model_swaps)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("mode", Json::str("fleet")),
+        ("default_tenant", Json::str(fleet.default_tenant())),
+        ("resident_cap", Json::uint(fleet.config().resident_cap as u64)),
+        ("resident", Json::uint(tenants.iter().filter(|t| t.resident).count() as u64)),
+        ("resident_bytes", Json::uint(tenants.iter().map(|t| t.resident_bytes).sum())),
+        ("tenants", Json::Arr(rows)),
+        ("queue_depth", Json::uint(inner.queue.len() as u64)),
+        ("workers", Json::uint(inner.config.workers as u64)),
+    ])
+}
+
+fn infer(request: &Request, started: Instant, inner: &Inner, tenant: Option<&str>) -> Routed {
+    // Resolve the serving api first: single backend, or per-tenant
+    // lookup (with lazy admission) through the fleet. Tenant routing
+    // failures are client errors (404) — an unknown or invalid tenant
+    // name must never count against the 5xx budget — while an admission
+    // failure of a *known* tenant (corrupt snapshot) is a 503: retrying
+    // after a fixed publish succeeds.
+    let api: Arc<ServingApi> = match (&inner.backend, tenant) {
+        (Backend::Single(api), None) => Arc::clone(api),
+        (Backend::Single(_), Some(_)) => {
+            return Routed::error(Endpoint::Infer, 404, "no tenant fleet configured");
+        }
+        (Backend::Fleet(fleet), tenant) => {
+            let name = tenant.unwrap_or(fleet.default_tenant());
+            match fleet.api(name) {
+                Ok(api) => api,
+                Err(e @ (FleetError::InvalidName(_) | FleetError::UnknownTenant(_))) => {
+                    return Routed::error(Endpoint::Infer, 404, e.to_string());
+                }
+                Err(e @ FleetError::Tenant { .. }) => {
+                    let mut routed = Routed::error(Endpoint::Infer, 503, e.to_string());
+                    routed.extra_headers.push(("Retry-After", "1"));
+                    return routed;
+                }
+            }
+        }
+    };
+
     // Deadline check happens before any parsing or inference: a request
     // that waited out its budget in the accept queue is refused cheaply.
     if let Some(deadline) = inner.config.deadline {
         if started.elapsed() > deadline {
-            inner.api.note_deadline_exceeded();
+            api.note_deadline_exceeded();
             let mut routed = Routed::error(Endpoint::Infer, 503, "deadline exceeded");
             routed.extra_headers.push(("Retry-After", "1"));
             return routed;
@@ -413,12 +559,12 @@ fn infer(request: &Request, started: Instant, inner: &Inner) -> Routed {
         Err(e) => return Routed::error(Endpoint::Infer, 400, format!("invalid JSON: {e}")),
     };
 
-    let _guard = inner.api.begin_request();
+    let _guard = api.begin_request();
     match envelope.get("requests") {
         None => match decode_one(&envelope) {
             Err(message) => Routed::error(Endpoint::Infer, 400, message),
             Ok(decoded) => {
-                let served = inner.api.serve_request(&decoded.request());
+                let served = api.serve_request(&decoded.request());
                 let body = render_served(&served, decoded.id);
                 Routed::json(Endpoint::Infer, 200, &body)
             }
@@ -445,7 +591,7 @@ fn infer(request: &Request, started: Instant, inner: &Inner) -> Routed {
                 }
             }
             let requests: Vec<InferRequest<'_>> = decoded.iter().map(|d| d.request()).collect();
-            let served = inner.api.serve_batch(&requests);
+            let served = api.serve_batch(&requests);
             let responses: Vec<Json> = served
                 .iter()
                 .zip(&decoded)
@@ -456,7 +602,7 @@ fn infer(request: &Request, started: Instant, inner: &Inner) -> Routed {
                 // Envelope-level: the snapshot *serving* right now (the
                 // per-response field is the snapshot that produced each
                 // answer, which can be older on cached store hits).
-                ("snapshot_version", Json::uint(inner.api.snapshot_version())),
+                ("snapshot_version", Json::uint(api.snapshot_version())),
             ]);
             Routed::json(Endpoint::Infer, 200, &body)
         }
@@ -845,5 +991,143 @@ mod tests {
             let mut c = HttpClient::connect(addr).unwrap();
             c.get("/healthz").is_err()
         });
+    }
+
+    fn tenant_model(tag: u32) -> graphex_core::GraphExModel {
+        let mut config = GraphExConfig::default();
+        config.curation.min_search_count = 0;
+        GraphExBuilder::new(config)
+            .add_records((0..4u32).map(|i| {
+                KeyphraseRecord::new(format!("tenant{tag} widget v{i}"), LeafId(1), 100 + i, 10)
+            }))
+            .build()
+            .unwrap()
+    }
+
+    fn fleet_fixture(label: &str, tenants: &[(&str, u32)]) -> (std::path::PathBuf, Arc<TenantFleet>) {
+        let root = std::env::temp_dir()
+            .join(format!("graphex-server-fleet-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let fleet = TenantFleet::open(
+            &root,
+            graphex_serving::FleetConfig { resident_cap: 2, ..Default::default() },
+        )
+        .unwrap();
+        for &(name, tag) in tenants {
+            fleet.publish_model(name, &tenant_model(tag), "seed").unwrap();
+        }
+        (root, Arc::new(fleet))
+    }
+
+    #[test]
+    fn fleet_mode_multiplexes_tenants_by_path() {
+        let (root, fleet) =
+            fleet_fixture("mux", &[("default", 0), ("alpha", 1), ("beta", 2)]);
+        let server = crate::start_fleet(test_config(), fleet).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+
+        // Tenant paths reach the right tenant's model.
+        for (tenant, tag) in [("alpha", 1), ("beta", 2)] {
+            let body = format!(r#"{{"title":"tenant{tag} widget v0","leaf":1,"k":2}}"#);
+            let response = client.post_json(&format!("/v1/t/{tenant}/infer"), &body).unwrap();
+            assert_eq!(response.status, 200, "{tenant}: {}", response.text());
+            let parsed = json::parse(&response.text()).unwrap();
+            assert_eq!(parsed.get("outcome").unwrap().as_str(), Some("exact_leaf"));
+            let phrases = parsed.get("keyphrases").unwrap().as_arr().unwrap();
+            assert!(
+                phrases.iter().all(|p| p.as_str().unwrap().contains(&format!("tenant{tag}"))),
+                "{tenant} answered with another tenant's phrases: {phrases:?}"
+            );
+        }
+
+        // The legacy path serves the default tenant.
+        let legacy = client
+            .post_json("/v1/infer", r#"{"title":"tenant0 widget v0","leaf":1,"k":2}"#)
+            .unwrap();
+        assert_eq!(legacy.status, 200);
+        let parsed = json::parse(&legacy.text()).unwrap();
+        assert_eq!(parsed.get("outcome").unwrap().as_str(), Some("exact_leaf"));
+
+        // Unknown and invalid tenants are client errors, not 5xx.
+        let unknown = client.post_json("/v1/t/ghost/infer", r#"{"title":"x","leaf":1}"#).unwrap();
+        assert_eq!(unknown.status, 404);
+        let invalid =
+            client.post_json("/v1/t/..%2fescape/infer", r#"{"title":"x","leaf":1}"#).unwrap();
+        assert_eq!(invalid.status, 404);
+        // GET on a tenant infer path is a 405 like the legacy path.
+        assert_eq!(client.get("/v1/t/alpha/infer").unwrap().status, 405);
+
+        // /statusz reports the fleet table.
+        let status = json::parse(&client.get("/statusz").unwrap().text()).unwrap();
+        assert_eq!(status.get("mode").unwrap().as_str(), Some("fleet"));
+        assert_eq!(status.get("default_tenant").unwrap().as_str(), Some("default"));
+        let rows = status.get("tenants").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 3);
+        let alpha = rows
+            .iter()
+            .find(|row| row.get("name").unwrap().as_str() == Some("alpha"))
+            .expect("alpha row");
+        assert_eq!(alpha.get("requests").unwrap().as_u64(), Some(1));
+
+        // /metrics carries per-tenant families and zero server errors.
+        // Three tenants took traffic under a cap of 2, so the first one
+        // (alpha) has been LRU-evicted — but its counters keep exporting.
+        let metrics = client.get("/metrics").unwrap().text();
+        assert!(metrics.contains("graphex_tenant_resident{tenant=\"default\"} 1"));
+        assert!(metrics.contains("graphex_tenant_resident{tenant=\"alpha\"} 0"));
+        assert!(metrics.contains(
+            "graphex_tenant_serve_outcome_total{tenant=\"alpha\",outcome=\"exact_leaf\"} 1"
+        ));
+        assert!(metrics.contains("graphex_fleet_resident_cap 2"));
+        assert!(metrics.contains(
+            "graphex_tenant_serve_outcome_total{tenant=\"beta\",outcome=\"exact_leaf\"} 1"
+        ));
+        assert_eq!(server.metrics().server_errors(), 0);
+
+        drop(client);
+        server.shutdown();
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn single_mode_rejects_tenant_paths() {
+        let server = crate::start(test_config(), api()).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let response =
+            client.post_json("/v1/t/alpha/infer", r#"{"title":"widget gadget","leaf":1}"#).unwrap();
+        assert_eq!(response.status, 404);
+        assert!(response.text().contains("no tenant fleet"), "{}", response.text());
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn fleet_eviction_under_traffic_never_5xxes() {
+        let (root, fleet) =
+            fleet_fixture("evict", &[("default", 0), ("a", 1), ("b", 2), ("c", 3)]);
+        let server = crate::start_fleet(test_config(), Arc::clone(&fleet)).unwrap();
+        let addr = server.addr();
+
+        // Round-robin across more tenants than the residency cap (2), so
+        // every request cycle forces admissions and LRU evictions.
+        let names = ["a", "b", "c", "default"];
+        let tags = [1u32, 2, 3, 0];
+        let mut client = HttpClient::connect(addr).unwrap();
+        for round in 0..6 {
+            for (tenant, tag) in names.iter().zip(tags) {
+                let body = format!(r#"{{"title":"tenant{tag} widget v0","leaf":1,"k":2}}"#);
+                let response =
+                    client.post_json(&format!("/v1/t/{tenant}/infer"), &body).unwrap();
+                assert_eq!(response.status, 200, "round {round} {tenant}: {}", response.text());
+            }
+        }
+        assert!(fleet.resident_count() <= 2, "cap must hold under churn");
+        let evictions: u64 = fleet.list().iter().map(|t| t.evictions).sum();
+        assert!(evictions > 0, "test must actually exercise eviction");
+        assert_eq!(server.metrics().server_errors(), 0, "evictions caused 5xx");
+
+        drop(client);
+        server.shutdown();
+        std::fs::remove_dir_all(&root).ok();
     }
 }

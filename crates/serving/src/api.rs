@@ -147,7 +147,7 @@ pub struct ServingApi {
 }
 
 /// Counters snapshot, keyed by source and by [`Outcome`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServeStats {
     pub store_hits: u64,
     pub read_throughs: u64,
@@ -172,6 +172,38 @@ pub struct ServeStats {
     pub snapshot_version: u64,
     /// Hot swaps observed since the api's model source went live.
     pub model_swaps: u64,
+}
+
+impl ServeStats {
+    /// Folds another snapshot's counters into this one — how the tenant
+    /// fleet carries stats across evict/re-admit cycles (each resident
+    /// incarnation gets a fresh `ServingApi`, so its counters restart
+    /// from zero).
+    ///
+    /// All counters (including per-outcome tallies and `model_swaps`)
+    /// add; `in_flight` adds too, which is only meaningful when `other`
+    /// is a *live* snapshot (an evicted incarnation's gauge has
+    /// drained to ~0); `snapshot_version` takes `other`'s value when it
+    /// has one, since "latest incarnation" is the version that matters.
+    pub fn absorb(&mut self, other: &ServeStats) {
+        self.store_hits += other.store_hits;
+        self.read_throughs += other.read_throughs;
+        self.coalesced += other.coalesced;
+        self.direct += other.direct;
+        self.unservable += other.unservable;
+        self.invalidated += other.invalidated;
+        self.shed += other.shed;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.in_flight += other.in_flight;
+        self.outcomes.exact_leaf += other.outcomes.exact_leaf;
+        self.outcomes.meta_fallback += other.outcomes.meta_fallback;
+        self.outcomes.unknown_leaf += other.outcomes.unknown_leaf;
+        self.outcomes.empty += other.outcomes.empty;
+        self.model_swaps += other.model_swaps;
+        if other.snapshot_version != 0 {
+            self.snapshot_version = other.snapshot_version;
+        }
+    }
 }
 
 impl ServingApi {

@@ -26,12 +26,14 @@
 
 pub mod api;
 pub mod batch;
+pub mod fleet;
 pub mod kv;
 pub mod nrt;
 pub mod registry;
 
 pub use api::{InFlightGuard, ServeSource, ServeStats, Served, ServingApi, SwapPolicy};
 pub use batch::{BatchPipeline, BatchReport};
+pub use fleet::{FleetConfig, FleetError, FleetResult, TenantFleet, TenantStatus};
 pub use kv::KvStore;
 pub use nrt::{ItemEvent, NrtConfig, NrtService, NrtStats};
 pub use registry::{

@@ -27,7 +27,7 @@
 //! pipeline, and NRT service resolve per request/window, so a `publish`
 //! or `rollback` propagates without restarting anything.
 
-use graphex_core::serialize::{self, SnapshotInfo};
+use graphex_core::serialize::{self, LoadMode, SnapshotInfo};
 use graphex_core::{Engine, GraphExError, GraphExModel, InferRequest};
 use parking_lot::{Mutex, RwLock};
 use std::path::{Path, PathBuf};
@@ -178,6 +178,11 @@ pub struct ActiveModel {
     pub version: u64,
     pub engine: Engine,
     pub meta: SnapshotMeta,
+    /// Which storage backend holds the snapshot bytes: `Mmap` borrows
+    /// the page cache (resident set grows only with pages touched, and
+    /// is shared across processes mapping the same file), `Heap` is a
+    /// private anonymous copy.
+    pub load_mode: LoadMode,
 }
 
 /// Shared hot-swap state between a registry and all of its watches.
@@ -244,7 +249,12 @@ impl ModelWatch {
         };
         Self {
             shared: Arc::new(Shared {
-                active: RwLock::new(Some(Arc::new(ActiveModel { version: 0, engine, meta }))),
+                active: RwLock::new(Some(Arc::new(ActiveModel {
+                    version: 0,
+                    engine,
+                    meta,
+                    load_mode: LoadMode::Heap,
+                }))),
                 epoch: AtomicU64::new(1),
             }),
         }
@@ -266,6 +276,9 @@ pub struct WarmupReport {
 pub struct ModelRegistry {
     root: PathBuf,
     shared: Arc<Shared>,
+    /// Preferred snapshot storage backend for activations (mmap with
+    /// heap fallback by default).
+    load_mode: LoadMode,
     /// Serializes write operations (publish / activate / rollback / gc)
     /// within this process: concurrent publishers would otherwise race
     /// on version allocation, staging directories, and the
@@ -287,11 +300,20 @@ impl ModelRegistry {
     /// [`ModelRegistry::publish`] activates. The error returned when
     /// *no* snapshot is loadable is the failure of the preferred one.
     pub fn open(root: impl AsRef<Path>) -> RegistryResult<Self> {
+        Self::open_with_mode(root, LoadMode::default())
+    }
+
+    /// [`ModelRegistry::open`] with an explicit snapshot storage
+    /// backend: `LoadMode::Mmap` (the default) borrows activations off
+    /// the page cache, `LoadMode::Heap` forces private copies (the
+    /// pre-mmap behaviour; also the bench baseline).
+    pub fn open_with_mode(root: impl AsRef<Path>, load_mode: LoadMode) -> RegistryResult<Self> {
         let root = root.as_ref().to_path_buf();
         std::fs::create_dir_all(&root)?;
         let registry = Self {
             root,
             shared: Arc::new(Shared { active: RwLock::new(None), epoch: AtomicU64::new(0) }),
+            load_mode,
             write_lock: Mutex::new(()),
         };
         let versions = registry.versions()?;
@@ -323,8 +345,16 @@ impl ModelRegistry {
         Ok(Self {
             root,
             shared: Arc::new(Shared { active: RwLock::new(None), epoch: AtomicU64::new(0) }),
+            load_mode: LoadMode::default(),
             write_lock: Mutex::new(()),
         })
+    }
+
+    /// The storage backend this registry requests for activations. The
+    /// backend that actually served a given activation is on
+    /// [`ActiveModel::load_mode`] (mmap can degrade to heap).
+    pub fn load_mode(&self) -> LoadMode {
+        self.load_mode
     }
 
     /// The version an `open()` of this directory would activate first:
@@ -499,16 +529,24 @@ impl ModelRegistry {
         let meta = self.manifest(version)?;
 
         // Load + validate: whole-file checksum against the manifest, then
-        // the (zero-copy for v2) structural parse.
-        let bytes = serialize::read_aligned(dir.join(MODEL_FILE))?;
+        // the (zero-copy for v2) structural parse. The mmap-vs-heap
+        // choice changes only who owns the pages — both backends hand
+        // `from_shared` one aligned buffer, and the checksum pass below
+        // reads every byte either way, so corruption is caught before
+        // the swap regardless of backend. Mapping the file is safe here
+        // because version directories are staged-then-renamed and never
+        // rewritten in place.
+        let model_path = dir.join(MODEL_FILE);
+        let (bytes, load_mode) = serialize::read_snapshot(&model_path, self.load_mode)?;
         let actual = serialize::checksum(&bytes);
         if actual != meta.checksum {
             return Err(RegistryError::Manifest(format!(
-                "checksum mismatch for version {version}: manifest {:016x}, file {actual:016x}",
+                "{}: checksum mismatch for version {version}: manifest {:016x}, file {actual:016x}",
+                model_path.display(),
                 meta.checksum
             )));
         }
-        let model = serialize::from_shared(bytes)?;
+        let model = serialize::from_shared(bytes).map_err(|e| e.with_path(&model_path))?;
 
         // Warm up: probe inferences touch the graph pages and prove the
         // engine answers before any traffic sees the snapshot.
@@ -521,7 +559,7 @@ impl ModelRegistry {
         self.write_current_file(version)?;
 
         // Atomic epoch-pointer swap.
-        let active = Arc::new(ActiveModel { version, engine, meta });
+        let active = Arc::new(ActiveModel { version, engine, meta, load_mode });
         *self.shared.active.write() = Some(Arc::clone(&active));
         self.shared.epoch.fetch_add(1, Ordering::AcqRel);
         Ok(active)
@@ -570,18 +608,20 @@ impl ModelRegistry {
             return Err(RegistryError::UnknownVersion(version));
         }
         let meta = self.manifest(version)?;
-        let bytes = serialize::read_aligned(dir.join(MODEL_FILE))?;
+        let model_path = dir.join(MODEL_FILE);
+        let bytes = serialize::read_aligned(&model_path).map_err(|e| e.with_path(&model_path))?;
         let actual = serialize::checksum(&bytes);
         if actual != meta.checksum {
             return Err(RegistryError::Manifest(format!(
-                "checksum mismatch for version {version}: manifest {:016x}, file {actual:016x}",
+                "{}: checksum mismatch for version {version}: manifest {:016x}, file {actual:016x}",
+                model_path.display(),
                 meta.checksum
             )));
         }
         // One full structural parse; the info view is derived from the
         // already-validated model + header (no second parse, no second
         // checksum scan).
-        let model = serialize::from_shared(bytes.clone())?;
+        let model = serialize::from_shared(bytes.clone()).map_err(|e| e.with_path(&model_path))?;
         Ok(serialize::inspect_model(&model, &bytes))
     }
 
@@ -755,6 +795,91 @@ mod tests {
         assert_eq!(registry.versions().unwrap(), [3, 4]);
         // The active version survived even though keep_n=1 would drop it.
         assert_eq!(registry.current_version(), Some(3));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// Regression: `gc` must never delete the currently-active or
+    /// pinned snapshot, even under the most aggressive `keep_n` and
+    /// even when active, pinned, and newest are three different
+    /// versions. (A gc that collects the serving snapshot turns the
+    /// next restart — or the next tenant re-admission — into an
+    /// outage.)
+    #[test]
+    fn gc_never_deletes_active_or_pinned_version() {
+        let root = tempdir("gc-guard");
+        let registry = ModelRegistry::open(&root).unwrap();
+        for i in 1..=5 {
+            registry.publish(&model(i), "").unwrap();
+        }
+        // Active = 2 (in memory), CURRENT pin rewritten to 3 behind the
+        // registry's back (as a concurrent process would), newest = 5.
+        registry.activate(2).unwrap();
+        std::fs::write(root.join("CURRENT"), "3\n").unwrap();
+        assert_eq!(registry.current_version(), Some(2));
+        assert_eq!(registry.pinned_version(), Some(3));
+
+        // keep_n = 0 is the hostile case: clamped to 1, and both the
+        // active and pinned versions survive regardless.
+        let removed = registry.gc(0).unwrap();
+        assert_eq!(removed, [1, 4]);
+        assert_eq!(registry.versions().unwrap(), [2, 3, 5]);
+        // The active snapshot still serves and a reopen still boots.
+        assert!(registry.current().unwrap().engine.model().num_keyphrases() > 0);
+        drop(registry);
+        assert_eq!(ModelRegistry::open(&root).unwrap().current_version(), Some(3));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// Activations default to the mmap backend and stay zero-copy; a
+    /// heap-mode registry serves identical answers.
+    #[test]
+    fn activation_is_mmap_backed_and_heap_equivalent() {
+        let root = tempdir("mmap-mode");
+        let registry = ModelRegistry::open(&root).unwrap();
+        assert_eq!(registry.load_mode(), LoadMode::Mmap);
+        registry.publish(&model(1), "").unwrap();
+        let active = registry.current().unwrap();
+        assert_eq!(active.load_mode, LoadMode::Mmap);
+        let m = active.engine.model();
+        assert!(m.leaf_ids().all(|l| m.leaf_graph(l).unwrap().is_zero_copy()));
+
+        let heap = ModelRegistry::open_with_mode(&root, LoadMode::Heap).unwrap();
+        let heap_active = heap.current().unwrap();
+        assert_eq!(heap_active.load_mode, LoadMode::Heap);
+        let req = InferRequest::new("brand1 widget model0", LeafId(0)).k(5).resolve_texts(true);
+        let a = active.engine.infer(&req);
+        let b = heap_active.engine.infer(&req);
+        assert_eq!(a.texts, b.texts);
+        assert_eq!(a.predictions, b.predictions);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// Load failures name the offending snapshot file (the fleet serves
+    /// many tenants; "checksum mismatch" alone is undebuggable).
+    #[test]
+    fn load_errors_carry_the_snapshot_path() {
+        let root = tempdir("errpath");
+        let registry = ModelRegistry::open(&root).unwrap();
+        registry.publish(&model(1), "").unwrap();
+
+        // Corrupt the bytes *and* refresh the manifest checksum so the
+        // failure comes from the structural parse, not the manifest.
+        let path = root.join("1").join(MODEL_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let n = bytes.len();
+        let sum = graphex_core::serialize::checksum(&bytes[..n - 8]);
+        bytes[n - 8..].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let manifest = registry.manifest(1).unwrap();
+        let mut fixed = manifest.clone();
+        fixed.checksum = graphex_core::serialize::checksum(&bytes);
+        std::fs::write(root.join("1").join(MANIFEST_FILE), fixed.render()).unwrap();
+
+        let err = registry.activate(1).unwrap_err();
+        assert!(matches!(err, RegistryError::Model(GraphExError::Corrupt(_))), "{err}");
+        assert!(err.to_string().contains("model.gexm"), "path missing from: {err}");
         std::fs::remove_dir_all(&root).ok();
     }
 

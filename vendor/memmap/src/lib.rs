@@ -1,0 +1,260 @@
+//! Hermetic shim of the `memmap2` crate: read-only file mappings.
+//!
+//! The container has no network access and no `libc` crate, so the
+//! mapping is made with raw Linux syscalls (`mmap`/`munmap` via inline
+//! assembly) on the architectures this repo builds for. On any other
+//! target — or when the kernel refuses the mapping — [`Mmap::map`]
+//! returns an error and callers fall back to a heap read; nothing in
+//! this crate panics on an mmap failure.
+//!
+//! API subset: `Mmap::map(&File)`, `Deref<Target = [u8]>`,
+//! `AsRef<[u8]>`, `Send + Sync`, unmap on `Drop`. Mappings are
+//! `PROT_READ`/`MAP_PRIVATE`: writes through the file after mapping may
+//! or may not be visible (same caveat as the real crate), which is why
+//! the snapshot store only maps immutable, checksummed files.
+//!
+//! This is the one vendor shim that contains `unsafe` code: a memory
+//! mapping cannot be expressed in safe std. The unsafety is confined to
+//! the two syscalls and the `slice::from_raw_parts` over the mapped
+//! region, whose length the kernel guaranteed at `mmap` time.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// An immutable memory-mapped region backed by a file.
+///
+/// The mapping stays valid for the lifetime of this value (the kernel
+/// keeps the pages even if the `File` is closed or the path unlinked)
+/// and is unmapped on drop. Page alignment means the base pointer is
+/// always at least 4096-byte aligned — comfortably the 8-byte alignment
+/// the GEXM v2 zero-copy loader requires.
+pub struct Mmap {
+    ptr: *const u8,
+    len: usize,
+}
+
+// The region is immutable shared memory with no interior mutability.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps the whole of `file` read-only.
+    ///
+    /// # Safety contract (matches `memmap2`)
+    ///
+    /// The underlying file must not be truncated while the mapping is
+    /// alive, or reads through the map fault (`SIGBUS`). The snapshot
+    /// store upholds this by only mapping immutable published files;
+    /// `publish` writes to a staging name and renames.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `io::ErrorKind::Unsupported` on targets without a
+    /// raw-syscall backend, and with the kernel's errno when `mmap`
+    /// itself refuses (e.g. `ENOMEM`). An empty file maps to an empty
+    /// (dangling, never dereferenced) region rather than `EINVAL`.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        if len == 0 {
+            return Ok(Mmap { ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(), len: 0 });
+        }
+        let fd = {
+            use std::os::unix::io::AsRawFd;
+            file.as_raw_fd()
+        };
+        let ptr = sys::mmap_readonly(fd, len)?;
+        Ok(Mmap { ptr, len })
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        // Safety: `ptr` is either a live kernel mapping of exactly `len`
+        // bytes, or dangling with `len == 0` (a valid empty slice).
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // Nothing useful to do with a munmap failure in drop.
+            let _ = sys::munmap(self.ptr, self.len);
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("ptr", &self.ptr).field("len", &self.len).finish()
+    }
+}
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod sys {
+    use std::io;
+
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MMAP: usize = 9;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MUNMAP: usize = 11;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MMAP: usize = 222;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MUNMAP: usize = 215;
+
+    /// Raw 6-argument syscall. Returns the kernel's raw result:
+    /// `-4095..=-1` encodes `-errno`.
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(nr: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize, a6: usize) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") nr => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(nr: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize, a6: usize) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "svc 0",
+            in("x8") nr,
+            inlateout("x0") a1 => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            in("x5") a6,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: isize) -> io::Result<usize> {
+        if (-4095..0).contains(&ret) {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    pub fn mmap_readonly(fd: i32, len: usize) -> io::Result<*const u8> {
+        // Safety: all-zero addr lets the kernel pick placement; fd and
+        // len come from an open file's metadata.
+        let ret = unsafe { syscall6(SYS_MMAP, 0, len, PROT_READ, MAP_PRIVATE, fd as usize, 0) };
+        check(ret).map(|addr| addr as *const u8)
+    }
+
+    pub fn munmap(ptr: *const u8, len: usize) -> io::Result<()> {
+        // Safety: (ptr, len) is exactly what mmap_readonly returned.
+        let ret = unsafe { syscall6(SYS_MUNMAP, ptr as usize, len, 0, 0, 0, 0) };
+        check(ret).map(|_| ())
+    }
+}
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+mod sys {
+    use std::io;
+
+    pub fn mmap_readonly(_fd: i32, _len: usize) -> io::Result<*const u8> {
+        Err(io::Error::new(io::ErrorKind::Unsupported, "mmap shim: unsupported target"))
+    }
+
+    pub fn munmap(_ptr: *const u8, _len: usize) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("memmap-shim-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_path("contents");
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        std::fs::File::create(&path).unwrap().write_all(&payload).unwrap();
+        let map = Mmap::map(&std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(&*map, &payload[..]);
+        assert_eq!(map.as_ptr() as usize % 4096, 0, "page-aligned base");
+        drop(map);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let map = Mmap::map(&std::fs::File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(&*map, &[] as &[u8]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn survives_file_close_and_unlink() {
+        let path = temp_path("unlink");
+        std::fs::write(&path, b"persistent bytes").unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        drop(file);
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(&*map, b"persistent bytes");
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let path = temp_path("threads");
+        std::fs::write(&path, vec![7u8; 4096 * 3 + 17]).unwrap();
+        let map = std::sync::Arc::new(Mmap::map(&std::fs::File::open(&path).unwrap()).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let map = std::sync::Arc::clone(&map);
+                std::thread::spawn(move || map.iter().map(|&b| b as u64).sum::<u64>())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 7 * (4096 * 3 + 17) as u64);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
