@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test doc clippy bench-smoke bench bench-snapshot serve-smoke bench-http bench-build bench-cluster bench-tenancy cluster-smoke ci
+.PHONY: build test doc clippy bench-smoke bench bench-snapshot serve-smoke bench-http bench-build bench-cluster bench-tenancy bench-overlay cluster-smoke ci
 
 # Tier-1 gate, part 1.
 build:
@@ -68,6 +68,13 @@ bench-cluster:
 bench-tenancy:
 	$(CARGO) run --release -p graphex-bench --bin tenancybench -- \
 	  --output BENCH_tenancy.json --date $$(date +%Y-%m-%d)
+
+# NRT overlay serving: upsert-to-servable latency for brand-new leaves
+# and steady-state read-path overhead at 0%/1%/10% overlaid-leaf depth.
+# Records the BENCH_overlay.json datapoint.
+bench-overlay:
+	$(CARGO) run --release -p graphex-bench --bin overlaybench -- \
+	  --output BENCH_overlay.json --date $$(date +%Y-%m-%d)
 
 # Cluster smoke: build -> per-shard snapshots -> 3 backends + router,
 # then the sharded≡monolith, rolling-swap zero-5xx, and health gates.

@@ -1,0 +1,245 @@
+//! `overlaybench` — NRT overlay serving cost model: measures (a) the
+//! upsert-to-servable latency a seller sees when a brand-new listing is
+//! pushed through `ServingApi::apply_upsert` and answered on the very
+//! next request, and (b) the read-path overhead the overlay imposes on
+//! steady-state inference at 0% / 1% / 10% overlaid-leaf depth (the
+//! no-overlay arm runs an api without any overlay attached, so the 0%
+//! arm also prices the bare `is-there-an-overlay` branch). Records the
+//! `BENCH_overlay.json` datapoint behind `make bench-overlay`.
+//!
+//! ```text
+//! cargo run --release -p graphex-bench --bin overlaybench -- \
+//!     [--seed 23] [--output BENCH_overlay.json] [--date YYYY-MM-DD]
+//! ```
+
+use graphex_core::{GraphExConfig, InferRequest, KeyphraseRecord, LeafId};
+use graphex_marketsim::{CategorySpec, ChurnCorpus};
+use graphex_pipeline::{build, BuildPlan, MarketsimSource};
+use graphex_serving::{KvStore, OverlayStore, ServingApi};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const NUM_LEAVES: usize = 100;
+const UPSERTS: usize = 200;
+const READS_PER_ARM: usize = 20_000;
+/// Fraction of base leaves carrying at least one overlay record per arm.
+const DEPTHS: [f64; 3] = [0.0, 0.01, 0.10];
+
+struct Args {
+    seed: u64,
+    output: Option<String>,
+    date: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { seed: 23, output: None, date: "unrecorded".into() };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = argv.get(i + 1).ok_or_else(|| format!("{} needs a value", argv[i]))?;
+        match argv[i].as_str() {
+            "--seed" => args.seed = value.parse().map_err(|_| "bad --seed")?,
+            "--output" => args.output = Some(value.clone()),
+            "--date" => args.date = value.clone(),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("overlaybench: {e}");
+            std::process::exit(2);
+        }
+    };
+    match run(&args) {
+        Ok(report) => {
+            println!("{report}");
+            if let Some(path) = &args.output {
+                if let Err(e) = std::fs::write(path, format!("{report}\n")) {
+                    eprintln!("overlaybench: write {path}: {e}");
+                    std::process::exit(2);
+                }
+                eprintln!("recorded {path}");
+            }
+        }
+        Err(e) => {
+            eprintln!("overlaybench FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn bench_corpus(seed: u64) -> ChurnCorpus {
+    ChurnCorpus::new(
+        CategorySpec {
+            name: "OVERLAYBENCH".into(),
+            seed,
+            num_leaves: NUM_LEAVES,
+            products_per_leaf: 6,
+            num_items: 600,
+            num_sessions: 4_000,
+            leaf_id_base: 5_000,
+        },
+        0.0,
+    )
+}
+
+fn api_over(corpus: &ChurnCorpus, overlay: bool) -> Result<Arc<ServingApi>, String> {
+    let mut config = GraphExConfig::default();
+    config.curation.min_search_count = 2;
+    let plan = BuildPlan::new(config).jobs(2);
+    let output =
+        build(&plan, vec![Box::new(MarketsimSource::new(corpus))]).map_err(|e| e.to_string())?;
+    let mut api = ServingApi::new(Arc::new(output.model), Arc::new(KvStore::new()), 10);
+    if overlay {
+        api = api.with_overlay(Arc::new(OverlayStore::new()));
+    }
+    Ok(Arc::new(api))
+}
+
+fn fmt_stats(samples: &mut [Duration]) -> (Duration, Duration, Duration) {
+    samples.sort_unstable();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let p99 = samples[(samples.len() * 99) / 100 - 1];
+    let max = *samples.last().unwrap();
+    (mean, p99, max)
+}
+
+/// Arm (a): one brand-new listing per upsert, each immediately served.
+/// The measured interval covers apply (canonicalize + rebuild the leaf's
+/// mini graph) *and* the first read answered from it.
+fn bench_upsert_to_servable(corpus: &ChurnCorpus) -> Result<String, String> {
+    let api = api_over(corpus, true)?;
+    let mut samples = Vec::with_capacity(UPSERTS);
+    for i in 0..UPSERTS {
+        let text = format!("fresh onboard listing {i} widget");
+        let leaf = LeafId(40_000 + i as u32);
+        let record = KeyphraseRecord::new(text.clone(), leaf, 60, 5);
+        let started = Instant::now();
+        api.apply_upsert(std::slice::from_ref(&record)).map_err(|e| format!("{e:?}"))?;
+        let served = api.serve_request(&InferRequest::new(&text, leaf).k(5).resolve_texts(true));
+        let elapsed = started.elapsed();
+        if !served.keyphrases.iter().any(|k| k == &text) {
+            return Err(format!("upsert {i} not servable on the next request"));
+        }
+        samples.push(elapsed);
+    }
+    let (mean, p99, max) = fmt_stats(&mut samples);
+    eprintln!("upsert→servable over {UPSERTS} listings: {mean:.3?} mean, {p99:.3?} p99, {max:.3?} max");
+    Ok(format!(
+        r#"    "upsert_to_servable": {{
+      "upserts": {UPSERTS},
+      "mean": "{mean:.3?}",
+      "p99": "{p99:.3?}",
+      "max": "{max:.3?}"
+    }}"#
+    ))
+}
+
+/// Arm (b): steady-state read latency with 0% / 1% / 10% of base leaves
+/// overlaid. Every arm replays the same request tape (one title per
+/// leaf, round-robin), so overlaid leaves are hit in proportion to the
+/// depth and the deltas isolate the overlay's read-path cost.
+fn bench_read_overhead(corpus: &ChurnCorpus, seed: u64) -> Result<String, String> {
+    // One representative (title, leaf) per base leaf.
+    let mut tape: Vec<(String, LeafId)> = Vec::new();
+    for item in &corpus.marketplace().items {
+        if !tape.iter().any(|(_, l)| *l == item.leaf) {
+            tape.push((item.title.clone(), item.leaf));
+        }
+    }
+    tape.sort_by_key(|(_, l)| l.0);
+
+    let mut arms = String::new();
+    let mut baseline_mean = Duration::ZERO;
+    for (i, &depth) in DEPTHS.iter().enumerate() {
+        let api = api_over(corpus, depth > 0.0)?;
+        let overlaid = ((tape.len() as f64) * depth).round() as usize;
+        // Spread the overlaid leaves across the tape deterministically.
+        if let Some(stride) = tape.len().checked_div(overlaid) {
+            let records: Vec<KeyphraseRecord> = (0..overlaid)
+                .map(|j| {
+                    let (_, leaf) = tape[(j * stride + seed as usize) % tape.len()];
+                    KeyphraseRecord::new(format!("overlay churn phrase {j} gadget"), leaf, 50, 5)
+                })
+                .collect();
+            api.apply_upsert(&records).map_err(|e| format!("{e:?}"))?;
+        }
+        // Warm-up lap, then the measured tape replay.
+        for (title, leaf) in &tape {
+            api.serve_request(&InferRequest::new(title, *leaf).k(10));
+        }
+        let started = Instant::now();
+        for r in 0..READS_PER_ARM {
+            let (title, leaf) = &tape[r % tape.len()];
+            let served = api.serve_request(&InferRequest::new(title, *leaf).k(10));
+            std::hint::black_box(&served.keyphrases);
+        }
+        let mean = started.elapsed() / READS_PER_ARM as u32;
+        if i == 0 {
+            baseline_mean = mean;
+        }
+        let overhead_pct = if baseline_mean.is_zero() {
+            0.0
+        } else {
+            (mean.as_nanos() as f64 / baseline_mean.as_nanos() as f64 - 1.0) * 100.0
+        };
+        eprintln!(
+            "read path at {:.0}% depth ({overlaid}/{} leaves overlaid): {mean:.3?} mean ({overhead_pct:+.1}% vs no overlay)",
+            depth * 100.0,
+            tape.len()
+        );
+        if i > 0 {
+            arms.push_str(",\n");
+        }
+        arms.push_str(&format!(
+            r#"      {{
+        "depth_pct": {},
+        "leaves_overlaid": {overlaid},
+        "reads": {READS_PER_ARM},
+        "mean": "{mean:.3?}",
+        "overhead_vs_no_overlay_pct": {overhead_pct:.1}
+      }}"#,
+            depth * 100.0,
+        ));
+    }
+    Ok(format!("    \"read_path\": [\n{arms}\n    ]"))
+}
+
+fn run(args: &Args) -> Result<String, String> {
+    let corpus = bench_corpus(args.seed);
+    let upsert = bench_upsert_to_servable(&corpus)?;
+    let reads = bench_read_overhead(&corpus, args.seed)?;
+    Ok(format!(
+        r#"{{
+  "bench": "overlay",
+  "description": "NRT overlay serving: upsert-to-servable latency (apply_upsert of a brand-new leaf plus the first read answered from its overlay mini graph) and steady-state read-path overhead with 0%/1%/10% of base leaves overlaid. The 0% arm runs without any overlay attached, so deltas price both the overlay branch and the overlaid-leaf traversal.",
+  "date": "{}",
+  "machine": {{
+    "os": "{}",
+    "cpus_available": {},
+    "note": "single-process, in-memory serving api; no HTTP or KV-cache in the measured path (serve_request bypasses the store)."
+  }},
+  "config": {{
+    "dataset": "marketsim OVERLAYBENCH ({NUM_LEAVES} leaves, seed {})",
+    "upserts": {UPSERTS},
+    "reads_per_arm": {READS_PER_ARM},
+    "depths_pct": [0, 1, 10],
+    "profile": "release"
+  }},
+  "results": {{
+{upsert},
+{reads}
+  }}
+}}"#,
+        args.date,
+        std::env::consts::OS,
+        std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        args.seed,
+    ))
+}

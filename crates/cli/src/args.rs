@@ -22,6 +22,7 @@ const SWITCHES: &[&str] = &[
     "json",
     "strict",
     "heap",
+    "overlay",
 ];
 
 impl ParsedArgs {

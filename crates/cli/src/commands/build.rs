@@ -14,7 +14,8 @@
 use crate::args::ParsedArgs;
 use graphex_core::{Alignment, GraphExConfig};
 use graphex_pipeline::{
-    build, open_file_source, BuildPlan, BuildReport, DeltaBase, MarketsimSource, RecordSource,
+    build, open_file_source, open_overlay_journal_source, BuildPlan, BuildReport, DeltaBase,
+    MarketsimSource, RecordSource,
 };
 use graphex_server::Json;
 use graphex_serving::ModelRegistry;
@@ -104,14 +105,21 @@ fn config_from(args: &ParsedArgs) -> Result<GraphExConfig, String> {
     Ok(config)
 }
 
-/// Resolves `--input` (comma-separated files, format by extension) and/or
-/// `--marketsim` (preset corpus, optionally churned with `--generations`).
+/// Resolves `--input` (comma-separated files, format by extension),
+/// `--overlay-journal` (an exported NRT overlay journal, compacted into
+/// this build), and/or `--marketsim` (preset corpus, optionally churned
+/// with `--generations`).
 fn sources_from(args: &ParsedArgs) -> Result<Vec<Box<dyn RecordSource>>, String> {
     let mut sources: Vec<Box<dyn RecordSource>> = Vec::new();
     if let Some(inputs) = args.get("input") {
         for path in inputs.split(',').filter(|p| !p.is_empty()) {
             sources.push(open_file_source(path)?);
         }
+    }
+    if let Some(path) = args.get("overlay-journal") {
+        let (source, _upto) =
+            open_overlay_journal_source(path).map_err(|e| format!("--overlay-journal: {e}"))?;
+        sources.push(source);
     }
     if let Some(preset) = args.get("marketsim") {
         let seed = args.get_num::<u64>("seed", 7)?;
@@ -131,7 +139,10 @@ fn sources_from(args: &ParsedArgs) -> Result<Vec<Box<dyn RecordSource>>, String>
         sources.push(Box::new(MarketsimSource::new(&corpus)));
     }
     if sources.is_empty() {
-        return Err("missing --input <records.tsv[,more…]> or --marketsim <preset>".into());
+        return Err(
+            "missing --input <records.tsv[,more…]>, --overlay-journal <file>, or --marketsim <preset>"
+                .into(),
+        );
     }
     Ok(sources)
 }

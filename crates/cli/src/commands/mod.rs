@@ -7,6 +7,7 @@ pub mod diff;
 pub mod explain;
 pub mod infer;
 pub mod model;
+pub mod overlay;
 pub mod route;
 pub mod serve;
 pub mod simulate;

@@ -15,7 +15,10 @@
 use crate::args::ParsedArgs;
 use graphex_core::serialize::LoadMode;
 use graphex_core::{Engine, GraphExBuilder, GraphExConfig, KeyphraseRecord, LeafId};
-use graphex_serving::{FleetConfig, KvStore, ModelRegistry, ModelWatch, ServingApi, SwapPolicy, TenantFleet};
+use graphex_serving::{
+    FleetConfig, KvStore, ModelRegistry, ModelWatch, OverlayStore, ServingApi, SwapPolicy,
+    TenantFleet, DEFAULT_OVERLAY_CAP_BYTES,
+};
 use graphex_server::{HttpClient, ServerConfig};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -59,9 +62,14 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
         (None, None) => return Err("missing --model <file> or --root <dir>".into()),
     };
 
-    let api = Arc::new(
-        ServingApi::with_watch(watch, Arc::new(KvStore::new()), default_k).swap_policy(policy),
-    );
+    let mut api =
+        ServingApi::with_watch(watch, Arc::new(KvStore::new()), default_k).swap_policy(policy);
+    let overlay = args.switch("overlay");
+    if overlay {
+        let cap = args.get_num::<usize>("overlay-cap-bytes", DEFAULT_OVERLAY_CAP_BYTES)?;
+        api = api.with_overlay(Arc::new(OverlayStore::with_cap(cap)));
+    }
+    let api = Arc::new(api);
     let server = graphex_server::start(config, Arc::clone(&api))
         .map_err(|e| format!("bind {}: {e}", args.get("addr").unwrap_or("127.0.0.1:7878")))?;
     println!(
@@ -70,6 +78,11 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
         api.stats().snapshot_version
     );
     println!("endpoints: POST /v1/infer  GET /healthz  GET /statusz  GET /metrics");
+    if overlay {
+        println!(
+            "overlay (NRT writes): POST /v1/upsert  GET /v1/overlay/journal  POST /v1/overlay/drain"
+        );
+    }
 
     // Registry mode: poll CURRENT so cross-process publishes/rollbacks
     // hot-swap this server. The poll thread is the process's only
@@ -110,6 +123,9 @@ fn serve_fleet(
         load_mode: if args.switch("heap") { LoadMode::Heap } else { LoadMode::Mmap },
         swap_policy: policy,
         default_tenant: args.get("default-tenant").unwrap_or("default").to_string(),
+        overlay: args.switch("overlay"),
+        overlay_cap_bytes: args
+            .get_num::<usize>("overlay-cap-bytes", DEFAULT_OVERLAY_CAP_BYTES)?,
     };
     let fleet = Arc::new(
         TenantFleet::open(tenants_root, fleet_config)
@@ -130,6 +146,11 @@ fn serve_fleet(
         "endpoints: POST /v1/t/<tenant>/infer  POST /v1/infer (tenant {:?})  GET /healthz  GET /statusz  GET /metrics",
         fleet.default_tenant()
     );
+    if fleet.config().overlay {
+        println!(
+            "overlay (NRT writes): POST /v1/t/<tenant>/upsert  GET /v1/t/<tenant>/overlay/journal  POST /v1/t/<tenant>/overlay/drain"
+        );
+    }
 
     let poll = Duration::from_millis(args.get_num::<u64>("poll-ms", 2000)?.max(100));
     loop {
@@ -155,7 +176,8 @@ fn config_from(args: &ParsedArgs) -> Result<ServerConfig, String> {
     })
 }
 
-/// A small servable model for the smoke check (no files needed).
+/// A small servable model for the smoke check (no files needed). The
+/// overlay is attached so the smoke run exercises the NRT write path.
 fn demo_api() -> Result<Arc<ServingApi>, String> {
     let mut config = GraphExConfig::default();
     config.curation.min_search_count = 0;
@@ -165,7 +187,10 @@ fn demo_api() -> Result<Arc<ServingApi>, String> {
         }))
         .build()
         .map_err(|e| format!("demo model: {e}"))?;
-    Ok(Arc::new(ServingApi::new(Arc::new(model), Arc::new(KvStore::new()), 10)))
+    Ok(Arc::new(
+        ServingApi::new(Arc::new(model), Arc::new(KvStore::new()), 10)
+            .with_overlay(Arc::new(OverlayStore::new())),
+    ))
 }
 
 /// Boot → probe all endpoints → graceful shutdown. Any failed probe is a
@@ -223,10 +248,40 @@ fn smoke_probes(addr: std::net::SocketAddr, out: &mut String) -> Result<(), Stri
         }
     }
 
+    // The NRT write path: upsert a brand-new leaf, serve it on the very
+    // next request, export the journal, drain it.
+    let upsert = client
+        .post_json("/v1/upsert", r#"{"text":"acme overlay onboard","leaf":99,"search":70,"recall":5}"#)
+        .map_err(io)?;
+    expect(out, "POST /v1/upsert", upsert.status, 200)?;
+    let served = client
+        .post_json("/v1/infer", r#"{"title":"acme overlay onboard","leaf":99,"k":3}"#)
+        .map_err(io)?;
+    expect(out, "POST /v1/infer (upserted leaf)", served.status, 200)?;
+    let body = graphex_server::json::parse(&served.text())
+        .map_err(|e| format!("infer response is not JSON: {e}"))?;
+    let servable = body
+        .get("keyphrases")
+        .and_then(|k| k.as_arr())
+        .is_some_and(|k| k.iter().any(|p| p.as_str() == Some("acme overlay onboard")));
+    if !servable {
+        return Err(format!("upserted phrase not servable: {}", served.text()));
+    }
+    let journal = client.get("/v1/overlay/journal").map_err(io)?;
+    expect(out, "GET /v1/overlay/journal", journal.status, 200)?;
+    if !journal.text().contains("acme overlay onboard") {
+        return Err("journal export missing the upserted record".into());
+    }
+    let drained = client.post_json("/v1/overlay/drain", r#"{"upto":1}"#).map_err(io)?;
+    expect(out, "POST /v1/overlay/drain", drained.status, 200)?;
+
     let metrics = client.get("/metrics").map_err(io)?;
     expect(out, "GET /metrics", metrics.status, 200)?;
     if !metrics.text().contains("graphex_http_requests_total") {
         return Err("metrics missing graphex_http_requests_total".into());
+    }
+    if !metrics.text().contains("graphex_overlay_depth") {
+        return Err("metrics missing graphex_overlay_depth".into());
     }
 
     // Malformed traffic must map to 4xx, not a hang or panic. Each probe

@@ -15,6 +15,7 @@ pub fn usage() -> &'static str {
   graphex build    (--input <f.tsv|f.ndjson[,more…]> | --marketsim <preset>)
                    (--output <model.gexm> and/or --publish <registry root>)
                    [--jobs N] [--delta <prev snapshot|registry root>]
+                   [--overlay-journal <journal.txt>]
                    [--min-search N] [--alignment <lta|wmr|jac>]
                    [--no-stemming] [--no-fallback] [--strict] [--json]
                    [--note <text>] [--batch N]
@@ -36,6 +37,13 @@ pub fn usage() -> &'static str {
                    [--addr host:port] [--workers N] [--queue N] [--k N]
                    [--deadline-ms N] [--max-body BYTES] [--poll-ms N]
                    [--invalidate-on-swap] [--smoke]
+                   [--overlay [--overlay-cap-bytes N]]
+  graphex overlay  status  --server <host:port> [--name <tenant>]
+  graphex overlay  apply   --server <host:port> --input <records.tsv[,more…]>
+                           [--name <tenant>] [--batch N]
+  graphex overlay  compact --server <host:port> --input <records.tsv[,more…]>
+                           --publish <registry root> [--name <tenant>]
+                           [--jobs N] [--min-search N] [--note <text>]
   graphex tenant   list    --tenants <dir>
   graphex tenant   publish --tenants <dir> --name <tenant> --input <model.gexm>
                            [--note <text>]
@@ -69,6 +77,10 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
     if command == "tenant" {
         // `tenant` too (list|publish|evict|stats).
         return commands::tenant::run(rest);
+    }
+    if command == "overlay" {
+        // `overlay` too (status|apply|compact).
+        return commands::overlay::run(rest);
     }
     let parsed = ParsedArgs::parse(rest)?;
     match command.as_str() {

@@ -274,6 +274,22 @@ impl LeafAssembly {
         Self { tokens, keyphrases, graph }
     }
 
+    /// The leaf-local token vocabulary (overlay inference tokenizes
+    /// against it directly).
+    pub(crate) fn tokens(&self) -> &Vocab {
+        &self.tokens
+    }
+
+    /// The leaf-local keyphrase vocabulary.
+    pub(crate) fn keyphrases(&self) -> &Vocab {
+        &self.keyphrases
+    }
+
+    /// The assembled leaf graph (local-identity ids).
+    pub(crate) fn graph(&self) -> &LeafGraph {
+        &self.graph
+    }
+
     /// Number of labels (keyphrases) in this leaf.
     pub fn num_labels(&self) -> u32 {
         self.graph.num_labels()

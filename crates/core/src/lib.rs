@@ -76,6 +76,7 @@ pub mod explain;
 pub mod inference;
 pub mod leaf_graph;
 pub mod model;
+pub mod overlay;
 pub mod parallel;
 pub mod ranking;
 pub mod serialize;
@@ -90,6 +91,7 @@ pub use error::GraphExError;
 pub use explain::ExplainedPrediction;
 pub use inference::{InferenceParams, Prediction, Scratch};
 pub use model::{GraphExModel, ModelStats};
+pub use overlay::{OverlayLeafStats, OverlayView};
 pub use serialize::LoadMode;
 pub use service::{
     Engine, InferRequest, InferResponse, KeyphraseService, Outcome, OutcomeCounts, ScratchPool,

@@ -1,0 +1,468 @@
+//! Serving-side overlay views: a mutable per-leaf delta composed over an
+//! immutable snapshot at query time (ROADMAP item 4, the NRT onboarding
+//! story).
+//!
+//! A snapshot is immutable by design — that is what makes zero-copy mmap
+//! residency and atomic hot swaps safe. But a brand-new item (or a fresh
+//! keyphrase for an existing leaf) then only becomes servable after the
+//! next delta build publishes, which is minutes-cadence at best. The
+//! overlay closes that gap by *inverting* the delta-borrow proof: just as
+//! [`LeafAssembly::from_model`] reconstructs a leaf's assembly exactly
+//! from a snapshot, an [`OverlayView`] reconstructs the records of every
+//! overlaid leaf from the base model, unions them with the upserted delta
+//! records, and re-assembles a small leaf-local graph through the **same**
+//! [`canonicalize`] → [`LeafAssembly::build`] path the build pipeline
+//! uses. Reads on an overlaid leaf traverse that mini graph (same count
+//! arrays, same ranking, same scratch reuse); reads on untouched leaves
+//! never pay a thing.
+//!
+//! Determinism is inherited, not re-proven: because the upserted records
+//! are raw [`KeyphraseRecord`]s that later enter the build pipeline as
+//! one more record source, *overlay-then-compact* is byte-identical to a
+//! direct rebuild of the union corpus — the pipeline's existing
+//! parallel ≡ sequential ≡ delta property does the work (pinned in
+//! `tests/overlay.rs`).
+//!
+//! A view is immutable and cheap to share (`Arc` swap per upsert batch in
+//! `graphex_serving::overlay::OverlayStore`); each upsert rebuilds only
+//! the affected leaf's mini graph.
+
+use crate::alignment::Alignment;
+use crate::assembly::{canonicalize, AssemblyContext, LeafAssembly};
+use crate::inference::{collect_title_tokens, infer_on_graph, Scratch};
+use crate::model::GraphExModel;
+use crate::service::{InferRequest, InferResponse, Outcome};
+use crate::types::{KeyphraseId, KeyphraseRecord, LeafId};
+use graphex_textkit::{FxHashMap, Tokenizer};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One overlaid leaf: the union of the base leaf's reconstructed records
+/// and its uncompacted delta records, assembled into a leaf-local graph.
+#[derive(Debug)]
+struct OverlayLeaf {
+    assembly: LeafAssembly,
+    /// Local label index → global keyphrase id: the base model's id when
+    /// the phrase already exists there, else a synthetic id past the base
+    /// vocabulary (stable within one view).
+    global_ids: Vec<KeyphraseId>,
+    /// Uncompacted delta records folded into this leaf.
+    delta_records: usize,
+    /// True when the base snapshot has no graph for this leaf at all —
+    /// the seconds-old-seller case.
+    brand_new: bool,
+}
+
+/// Per-leaf overlay accounting, for `/statusz` tables and CLI output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlayLeafStats {
+    pub leaf: LeafId,
+    /// Uncompacted delta records folded into this leaf's mini graph.
+    pub delta_records: usize,
+    /// Total labels in the composed mini graph (base + delta).
+    pub labels: u32,
+    /// Whether the leaf exists only in the overlay (not in the base).
+    pub brand_new: bool,
+}
+
+/// An immutable snapshot of the overlay: per-leaf mini graphs composed
+/// from the base model plus all uncompacted delta records.
+///
+/// Built by `graphex_serving::overlay::OverlayStore` after each accepted
+/// upsert batch and swapped in atomically (readers hold an `Arc`); the
+/// inference path consults it before the base CSR lookup — an overlaid
+/// leaf answers from its composed mini graph, everything else falls
+/// through to the base model untouched.
+#[derive(Debug)]
+pub struct OverlayView {
+    leaves: FxHashMap<LeafId, Arc<OverlayLeaf>>,
+    tokenizer: Tokenizer,
+    alignment: Alignment,
+    /// Global overlay sequence number this view was built at (the epoch
+    /// tag the KV store compares against for invalidation).
+    seq: u64,
+}
+
+impl OverlayView {
+    /// The empty view: covers no leaves, sequence 0.
+    pub fn empty() -> Self {
+        Self {
+            leaves: FxHashMap::default(),
+            tokenizer: GraphExModel::make_tokenizer(true),
+            alignment: Alignment::Lta,
+            seq: 0,
+        }
+    }
+
+    /// Composes a view over `base` from per-leaf delta records.
+    ///
+    /// Every overlaid leaf's mini graph is a pure function of the base
+    /// model and the delta record multiset: base records are
+    /// reconstructed from the snapshot (normalized text + counts per
+    /// label), unioned with the deltas, canonical-sorted, and assembled
+    /// with [`LeafAssembly::build`] — whose normalized-text merge (sum
+    /// search, max recall) mirrors what curation + assembly will do to
+    /// the same records at compaction time.
+    pub fn build(base: &GraphExModel, deltas: &BTreeMap<LeafId, Vec<KeyphraseRecord>>, seq: u64) -> Self {
+        let mut ctx = AssemblyContext::new(base.stemming());
+        let mut leaves = FxHashMap::default();
+        for (&leaf, delta) in deltas {
+            if delta.is_empty() {
+                continue;
+            }
+            leaves.insert(leaf, Arc::new(Self::build_leaf(base, leaf, delta, &mut ctx)));
+        }
+        Self {
+            leaves,
+            tokenizer: GraphExModel::make_tokenizer(base.stemming()),
+            alignment: base.alignment(),
+            seq,
+        }
+    }
+
+    /// Rebuilds only `leaf` against `base`, sharing every other leaf's
+    /// mini graph with `self` — the incremental per-upsert path.
+    pub fn with_leaf(
+        &self,
+        base: &GraphExModel,
+        leaf: LeafId,
+        delta: &[KeyphraseRecord],
+        seq: u64,
+    ) -> Self {
+        let mut ctx = AssemblyContext::new(base.stemming());
+        let mut leaves = self.leaves.clone();
+        if delta.is_empty() {
+            leaves.remove(&leaf);
+        } else {
+            leaves.insert(leaf, Arc::new(Self::build_leaf(base, leaf, delta, &mut ctx)));
+        }
+        Self {
+            leaves,
+            tokenizer: GraphExModel::make_tokenizer(base.stemming()),
+            alignment: base.alignment(),
+            seq,
+        }
+    }
+
+    fn build_leaf(
+        base: &GraphExModel,
+        leaf: LeafId,
+        delta: &[KeyphraseRecord],
+        ctx: &mut AssemblyContext,
+    ) -> OverlayLeaf {
+        let base_graph = base.leaf_graph(leaf);
+        let mut records: Vec<KeyphraseRecord> = Vec::with_capacity(
+            delta.len() + base_graph.map_or(0, |g| g.num_labels() as usize),
+        );
+        if let Some(graph) = base_graph {
+            for label in 0..graph.num_labels() {
+                let text = base
+                    .keyphrase_text(graph.keyphrase_id(label))
+                    .expect("base leaf label resolves in base vocabulary");
+                records.push(KeyphraseRecord::new(
+                    text,
+                    leaf,
+                    graph.search_count(label),
+                    graph.recall_count(label),
+                ));
+            }
+        }
+        records.extend(delta.iter().cloned());
+        canonicalize(&mut records);
+        let assembly = LeafAssembly::build(&records, ctx);
+
+        // Local label → global id: reuse the base id for phrases the base
+        // vocabulary already knows; mint synthetic ids past it otherwise.
+        let mut next_synthetic = base.num_keyphrases() as u32;
+        let global_ids = assembly
+            .graph()
+            .labels()
+            .iter()
+            .map(|&local| {
+                let text = assembly
+                    .keyphrases()
+                    .resolve(local)
+                    .expect("overlay label resolves in its local vocabulary");
+                base.keyphrase_id(text).unwrap_or_else(|| {
+                    let id = next_synthetic;
+                    next_synthetic += 1;
+                    id
+                })
+            })
+            .collect();
+
+        OverlayLeaf {
+            assembly,
+            global_ids,
+            delta_records: delta.len(),
+            brand_new: base_graph.is_none(),
+        }
+    }
+
+    /// Global overlay sequence this view was built at.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Whether `leaf` answers from the overlay.
+    pub fn covers(&self, leaf: LeafId) -> bool {
+        self.leaves.contains_key(&leaf)
+    }
+
+    /// Number of overlaid leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Total uncompacted delta records across all leaves.
+    pub fn num_records(&self) -> usize {
+        self.leaves.values().map(|l| l.delta_records).sum()
+    }
+
+    /// True when no leaf is overlaid.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// Per-leaf accounting, sorted by leaf id (deterministic output for
+    /// `/statusz` and the CLI).
+    pub fn leaf_stats(&self) -> Vec<OverlayLeafStats> {
+        let mut stats: Vec<OverlayLeafStats> = self
+            .leaves
+            .iter()
+            .map(|(&leaf, ov)| OverlayLeafStats {
+                leaf,
+                delta_records: ov.delta_records,
+                labels: ov.assembly.num_labels(),
+                brand_new: ov.brand_new,
+            })
+            .collect();
+        stats.sort_unstable_by_key(|s| s.leaf);
+        stats
+    }
+
+    /// Answers `request` from the overlay, or `None` when the leaf is not
+    /// overlaid (the caller then falls through to the base model).
+    ///
+    /// Same machinery as the base path: `collect_title_tokens` against
+    /// the leaf-local vocabulary, then the generation-stamped count-array
+    /// enumeration and ranking of `infer_on_graph` — reusing the caller's
+    /// [`Scratch`], so steady-state overlay reads allocate nothing extra.
+    pub fn infer_request(
+        &self,
+        request: &InferRequest<'_>,
+        scratch: &mut Scratch,
+    ) -> Option<InferResponse> {
+        let ov = self.leaves.get(&request.leaf)?;
+        collect_title_tokens(&self.tokenizer, ov.assembly.tokens(), request.title, scratch);
+        let alignment = request.alignment.unwrap_or(self.alignment);
+        let mut predictions =
+            infer_on_graph(ov.assembly.graph(), alignment, &request.params(), scratch);
+        let texts = if request.resolve_texts {
+            predictions
+                .iter()
+                .map(|p| {
+                    ov.assembly.keyphrases().resolve(p.keyphrase).unwrap_or_default().to_string()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        for p in &mut predictions {
+            p.keyphrase = ov.global_ids[p.keyphrase as usize];
+        }
+        let outcome = if predictions.is_empty() { Outcome::Empty } else { Outcome::ExactLeaf };
+        Some(InferResponse { id: request.id, outcome, predictions, texts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{GraphExBuilder, GraphExConfig};
+    use crate::service::Engine;
+
+    fn base_model() -> GraphExModel {
+        let leaf = LeafId(7);
+        let mut config = GraphExConfig::default();
+        config.curation.min_search_count = 0;
+        GraphExBuilder::new(config)
+            .add_records(vec![
+                KeyphraseRecord::new("audeze maxwell", leaf, 900, 120),
+                KeyphraseRecord::new("audeze headphones", leaf, 450, 300),
+                KeyphraseRecord::new("gaming headphones xbox", leaf, 800, 700),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    fn deltas(pairs: Vec<(u32, KeyphraseRecord)>) -> BTreeMap<LeafId, Vec<KeyphraseRecord>> {
+        let mut map: BTreeMap<LeafId, Vec<KeyphraseRecord>> = BTreeMap::new();
+        for (leaf, rec) in pairs {
+            map.entry(LeafId(leaf)).or_default().push(rec);
+        }
+        map
+    }
+
+    #[test]
+    fn uncovered_leaf_falls_through() {
+        let base = base_model();
+        let view = OverlayView::build(
+            &base,
+            &deltas(vec![(9, KeyphraseRecord::new("ski goggles", LeafId(9), 50, 5))]),
+            1,
+        );
+        let mut scratch = Scratch::new();
+        assert!(view
+            .infer_request(&InferRequest::new("audeze maxwell", LeafId(7)), &mut scratch)
+            .is_none());
+        assert!(view.covers(LeafId(9)));
+        assert!(!view.covers(LeafId(7)));
+    }
+
+    #[test]
+    fn brand_new_leaf_is_servable() {
+        let base = base_model();
+        let view = OverlayView::build(
+            &base,
+            &deltas(vec![
+                (9, KeyphraseRecord::new("ski goggles anti fog", LeafId(9), 50, 5)),
+                (9, KeyphraseRecord::new("ski goggles", LeafId(9), 80, 9)),
+            ]),
+            2,
+        );
+        let mut scratch = Scratch::new();
+        let resp = view
+            .infer_request(
+                &InferRequest::new("anti fog ski goggles large", LeafId(9)).k(5).resolve_texts(true),
+                &mut scratch,
+            )
+            .unwrap();
+        assert_eq!(resp.outcome, Outcome::ExactLeaf);
+        assert_eq!(resp.texts[0], "ski goggles anti fog");
+        let stats = view.leaf_stats();
+        assert_eq!(stats.len(), 1);
+        assert!(stats[0].brand_new);
+        assert_eq!(stats[0].delta_records, 2);
+    }
+
+    #[test]
+    fn overlaid_leaf_composes_base_and_delta() {
+        let base = base_model();
+        // A new keyphrase lands on the existing leaf; base phrases must
+        // still answer alongside it.
+        let view = OverlayView::build(
+            &base,
+            &deltas(vec![(7, KeyphraseRecord::new("audeze maxwell xbox edition", LeafId(7), 990, 10))]),
+            3,
+        );
+        let mut scratch = Scratch::new();
+        let resp = view
+            .infer_request(
+                &InferRequest::new("audeze maxwell gaming headphones xbox", LeafId(7))
+                    .k(10)
+                    .resolve_texts(true),
+                &mut scratch,
+            )
+            .unwrap();
+        assert_eq!(resp.outcome, Outcome::ExactLeaf);
+        assert!(resp.texts.iter().any(|t| t == "audeze maxwell xbox edition"));
+        assert!(resp.texts.iter().any(|t| t == "gaming headphones xbox"));
+        // Existing phrases keep their base-model global ids.
+        let kp = base.keyphrase_id("gaming headphones xbox").unwrap();
+        let idx = resp.texts.iter().position(|t| t == "gaming headphones xbox").unwrap();
+        assert_eq!(resp.predictions[idx].keyphrase, kp);
+        // The new phrase gets a synthetic id past the base vocabulary.
+        let new_idx = resp.texts.iter().position(|t| t == "audeze maxwell xbox edition").unwrap();
+        assert!(resp.predictions[new_idx].keyphrase >= base.num_keyphrases() as u32);
+    }
+
+    #[test]
+    fn weight_bump_merges_counts_like_compaction() {
+        let base = base_model();
+        // Bumping an existing phrase sums search counts (curation's
+        // commutative duplicate merge), so overlay scores match what the
+        // compacted snapshot will serve.
+        let view = OverlayView::build(
+            &base,
+            &deltas(vec![(7, KeyphraseRecord::new("audeze headphones", LeafId(7), 1000, 100))]),
+            4,
+        );
+        let mut scratch = Scratch::new();
+        let resp = view
+            .infer_request(
+                &InferRequest::new("audeze maxwell headphones", LeafId(7)).k(5).resolve_texts(true),
+                &mut scratch,
+            )
+            .unwrap();
+        let idx = resp.texts.iter().position(|t| t == "audeze headphones").unwrap();
+        assert_eq!(resp.predictions[idx].search_count, 450 + 1000);
+        assert_eq!(resp.predictions[idx].recall_count, 300);
+        // The bumped phrase now out-ties "audeze maxwell" (LTA 2/1 both,
+        // search 1450 vs 900).
+        assert_eq!(resp.texts[0], "audeze headphones");
+    }
+
+    #[test]
+    fn overlay_answer_matches_direct_rebuild_of_union() {
+        // The read-path fidelity check behind the compaction invariant:
+        // serving through the overlay answers the same texts as a model
+        // rebuilt from the union corpus.
+        let union_records = vec![
+            KeyphraseRecord::new("audeze maxwell", LeafId(7), 900, 120),
+            KeyphraseRecord::new("audeze headphones", LeafId(7), 450, 300),
+            KeyphraseRecord::new("gaming headphones xbox", LeafId(7), 800, 700),
+            KeyphraseRecord::new("audeze maxwell xbox edition", LeafId(7), 990, 10),
+        ];
+        let mut config = GraphExConfig::default();
+        config.curation.min_search_count = 0;
+        let rebuilt = GraphExBuilder::new(config).add_records(union_records).build().unwrap();
+
+        let base = base_model();
+        let view = OverlayView::build(
+            &base,
+            &deltas(vec![(7, KeyphraseRecord::new("audeze maxwell xbox edition", LeafId(7), 990, 10))]),
+            5,
+        );
+        let req = InferRequest::new("audeze maxwell gaming headphones xbox edition", LeafId(7))
+            .k(10)
+            .resolve_texts(true);
+        let mut scratch = Scratch::new();
+        let via_overlay = view.infer_request(&req, &mut scratch).unwrap();
+        let direct = Engine::from_model(rebuilt).infer(&req);
+        assert_eq!(via_overlay.texts, direct.texts);
+        assert_eq!(via_overlay.outcome, direct.outcome);
+    }
+
+    #[test]
+    fn with_leaf_rebuilds_one_leaf_and_shares_the_rest() {
+        let base = base_model();
+        let view = OverlayView::build(
+            &base,
+            &deltas(vec![(9, KeyphraseRecord::new("ski goggles", LeafId(9), 80, 9))]),
+            1,
+        );
+        let next = view.with_leaf(
+            &base,
+            LeafId(10),
+            &[KeyphraseRecord::new("snow helmet", LeafId(10), 40, 4)],
+            2,
+        );
+        assert_eq!(next.seq(), 2);
+        assert!(next.covers(LeafId(9)) && next.covers(LeafId(10)));
+        assert_eq!(next.num_leaves(), 2);
+        // Draining a leaf removes it.
+        let drained = next.with_leaf(&base, LeafId(9), &[], 3);
+        assert!(!drained.covers(LeafId(9)) && drained.covers(LeafId(10)));
+    }
+
+    #[test]
+    fn empty_view_covers_nothing() {
+        let view = OverlayView::empty();
+        assert!(view.is_empty());
+        assert_eq!(view.seq(), 0);
+        assert_eq!(view.num_records(), 0);
+        let mut scratch = Scratch::new();
+        assert!(view.infer_request(&InferRequest::new("x", LeafId(1)), &mut scratch).is_none());
+    }
+}

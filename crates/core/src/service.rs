@@ -360,6 +360,17 @@ impl Engine {
         self.session().infer(request)
     }
 
+    /// One-shot inference composed with an overlay view: an overlaid leaf
+    /// answers from its composed mini graph, everything else falls
+    /// through to the base model. Same pooled scratch either way.
+    pub fn infer_with_overlay(
+        &self,
+        request: &InferRequest<'_>,
+        overlay: Option<&crate::overlay::OverlayView>,
+    ) -> InferResponse {
+        self.session().infer_with_overlay(request, overlay)
+    }
+
     /// Answers every request, in order, using up to `threads` workers
     /// (`0` = all cores). Each request carries its own `k`/alignment; each
     /// worker checks one scratch out of the engine's pool, so repeated
@@ -397,6 +408,22 @@ impl Session<'_> {
     /// Answers one request with this session's scratch.
     pub fn infer(&mut self, request: &InferRequest<'_>) -> InferResponse {
         let scratch = self.scratch.as_mut().expect("scratch present until drop");
+        self.engine.model.infer_request(request, scratch)
+    }
+
+    /// [`Session::infer`] composed with an overlay view (see
+    /// [`Engine::infer_with_overlay`]).
+    pub fn infer_with_overlay(
+        &mut self,
+        request: &InferRequest<'_>,
+        overlay: Option<&crate::overlay::OverlayView>,
+    ) -> InferResponse {
+        let scratch = self.scratch.as_mut().expect("scratch present until drop");
+        if let Some(view) = overlay {
+            if let Some(response) = view.infer_request(request, scratch) {
+                return response;
+            }
+        }
         self.engine.model.infer_request(request, scratch)
     }
 

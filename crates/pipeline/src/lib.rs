@@ -56,6 +56,6 @@ pub use build::{
 pub use manifest::{buildinfo_path_for, BuildManifest, BUILDINFO_FILE};
 pub use shard::{emit_shards, publish_shards, shard_of, shard_root, ShardSnapshot};
 pub use source::{
-    open_file_source, MarketsimSource, NdjsonFileSource, RecordSource, SourceStats, TsvFileSource,
-    VecSource,
+    open_file_source, open_overlay_journal_source, overlay_journal_source, MarketsimSource,
+    NdjsonFileSource, RecordSource, SourceStats, TsvFileSource, VecSource,
 };

@@ -450,6 +450,32 @@ impl RecordSource for VecSource {
     }
 }
 
+/// Wraps an NRT overlay journal as a record source (the compaction
+/// ingest path): the journal's raw upsert records join the build's other
+/// sources, so overlay-then-compact rides the pipeline's determinism
+/// contract — feeding the same records any other way produces the same
+/// snapshot bytes.
+pub fn overlay_journal_source(journal: &graphex_serving::OverlayJournal) -> VecSource {
+    VecSource::new(format!("overlay-journal:upto{}", journal.upto), journal.records())
+}
+
+/// Opens a serialized overlay journal file (the `GET /v1/overlay/journal`
+/// export / `graphex overlay status --journal` output) as a record
+/// source. Returns the source and the journal's `upto` sequence — the
+/// drain watermark to pass back to the server once the compacted
+/// snapshot is published.
+pub fn open_overlay_journal_source(
+    path: impl AsRef<Path>,
+) -> Result<(Box<dyn RecordSource>, u64), String> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let journal = graphex_serving::OverlayJournal::parse(&text)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let upto = journal.upto;
+    Ok((Box::new(overlay_journal_source(&journal)), upto))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -462,6 +488,44 @@ mod tests {
         assert!(parse_tsv_line("text only").is_err());
         assert!(parse_tsv_line("text\tx\t1\t2").is_err());
         assert!(parse_tsv_line("a\t1\t2\t3\t4").is_err());
+    }
+
+    #[test]
+    fn overlay_journal_file_round_trips_into_a_source() {
+        let store = graphex_serving::OverlayStore::new();
+        let base = graphex_core::GraphExBuilder::new({
+            let mut c = graphex_core::GraphExConfig::default();
+            c.curation.min_search_count = 0;
+            c
+        })
+        .add_record(KeyphraseRecord::new("base widget", LeafId(1), 10, 1))
+        .build()
+        .unwrap();
+        store
+            .apply(
+                &base,
+                &[
+                    KeyphraseRecord::new("overlay widget", LeafId(1), 20, 2),
+                    KeyphraseRecord::new("novel gadget", LeafId(9), 30, 3),
+                ],
+            )
+            .unwrap();
+        let path = std::env::temp_dir()
+            .join(format!("graphex-journal-src-{}.journal", std::process::id()));
+        std::fs::write(&path, store.export_journal().to_text()).unwrap();
+
+        let (mut source, upto) = open_overlay_journal_source(&path).unwrap();
+        assert_eq!(upto, 2);
+        let mut out = Vec::new();
+        source.next_batch(16, &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].text, "overlay widget");
+        assert_eq!(out[1].leaf, LeafId(9));
+        assert_eq!(source.stats().records, 2);
+
+        std::fs::write(&path, "not a journal\n").unwrap();
+        assert!(open_overlay_journal_source(&path).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

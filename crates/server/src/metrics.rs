@@ -7,7 +7,7 @@
 //! in-flight) live in [`graphex_serving::ServeStats`] and are merged in at
 //! render time, so `/metrics` and `/statusz` agree by construction.
 
-use graphex_serving::ServeStats;
+use graphex_serving::{OverlayStatus, ServeStats};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -60,6 +60,11 @@ impl LatencyHistogram {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Endpoint {
     Infer,
+    /// `POST /v1/upsert` (and tenant-scoped variants): the NRT overlay
+    /// write path.
+    Upsert,
+    /// Overlay maintenance: journal export and post-compaction drain.
+    Overlay,
     Healthz,
     Statusz,
     Metrics,
@@ -71,10 +76,49 @@ impl Endpoint {
     pub fn label(self) -> &'static str {
         match self {
             Endpoint::Infer => "infer",
+            Endpoint::Upsert => "upsert",
+            Endpoint::Overlay => "overlay",
             Endpoint::Healthz => "healthz",
             Endpoint::Statusz => "statusz",
             Endpoint::Metrics => "metrics",
             Endpoint::Other => "other",
+        }
+    }
+}
+
+/// The overlay metric families: `(name, prometheus type, extractor)`.
+/// One table shared by the single-tenant and fleet expositions so the
+/// family names cannot drift apart.
+type OverlayFamily = (&'static str, &'static str, fn(&OverlayStatus) -> u64);
+const OVERLAY_FAMILIES: [OverlayFamily; 10] = [
+    ("graphex_overlay_depth", "gauge", |s| s.depth as u64),
+    ("graphex_overlay_journal_bytes", "gauge", |s| s.journal_bytes as u64),
+    ("graphex_overlay_cap_bytes", "gauge", |s| s.cap_bytes as u64),
+    ("graphex_overlay_leaves", "gauge", |s| s.leaves as u64),
+    ("graphex_overlay_seq", "gauge", |s| s.seq),
+    ("graphex_overlay_drained_upto", "gauge", |s| s.drained_upto),
+    ("graphex_overlay_upserts_total", "counter", |s| s.upserts_applied),
+    ("graphex_overlay_records_total", "counter", |s| s.records_applied),
+    ("graphex_overlay_shed_total", "counter", |s| s.upserts_shed),
+    ("graphex_overlay_drains_total", "counter", |s| s.drains),
+];
+
+/// Appends the overlay gauge/counter families for a set of labeled
+/// [`OverlayStatus`] rows. Each row's label string is spliced verbatim
+/// inside the braces (empty for single-tenant mode, `tenant="acme"` in
+/// fleet mode); all rows of a family render under one `# TYPE` header.
+pub fn render_overlay_families(rows: &[(String, OverlayStatus)], out: &mut String) {
+    if rows.is_empty() {
+        return;
+    }
+    for (name, kind, extract) in OVERLAY_FAMILIES {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        for (labels, status) in rows {
+            if labels.is_empty() {
+                let _ = writeln!(out, "{name} {}", extract(status));
+            } else {
+                let _ = writeln!(out, "{name}{{{labels}}} {}", extract(status));
+            }
         }
     }
 }
@@ -250,6 +294,13 @@ impl HttpMetrics {
                 t.name, t.stats.model_swaps
             );
         }
+        let overlay_rows: Vec<(String, OverlayStatus)> = tenants
+            .iter()
+            .filter_map(|t| {
+                t.overlay.map(|o| (format!("tenant=\"{}\"", t.name), o))
+            })
+            .collect();
+        render_overlay_families(&overlay_rows, &mut out);
         out
     }
 
@@ -281,6 +332,12 @@ impl HttpMetrics {
         }
         let _ = writeln!(out, "# TYPE graphex_serve_invalidated_total counter");
         let _ = writeln!(out, "graphex_serve_invalidated_total {}", serve.invalidated);
+        let _ = writeln!(out, "# TYPE graphex_serve_overlay_invalidated_total counter");
+        let _ = writeln!(
+            out,
+            "graphex_serve_overlay_invalidated_total {}",
+            serve.overlay_invalidated
+        );
         let _ = writeln!(out, "# TYPE graphex_shed_total counter");
         let _ = writeln!(out, "graphex_shed_total {}", serve.shed);
         let _ = writeln!(out, "# TYPE graphex_deadline_exceeded_total counter");
@@ -307,6 +364,7 @@ mod tests {
             direct: 0,
             unservable: 1,
             invalidated: 0,
+            overlay_invalidated: 0,
             shed: 4,
             deadline_exceeded: 0,
             in_flight: 2,
@@ -353,5 +411,37 @@ mod tests {
         assert!(text.contains("graphex_model_snapshot_version 7"));
         assert_eq!(m.server_errors(), 1);
         assert_eq!(m.responses_for(Endpoint::Infer, 503), 1);
+        assert!(text.contains("graphex_serve_overlay_invalidated_total 0"));
+    }
+
+    #[test]
+    fn overlay_families_render_bare_and_tenant_labelled() {
+        let status = OverlayStatus {
+            seq: 9,
+            depth: 4,
+            journal_bytes: 128,
+            cap_bytes: 1024,
+            upserts_applied: 3,
+            ..Default::default()
+        };
+        let mut bare = String::new();
+        render_overlay_families(&[(String::new(), status)], &mut bare);
+        assert!(bare.contains("# TYPE graphex_overlay_depth gauge"), "{bare}");
+        assert!(bare.contains("graphex_overlay_depth 4"), "{bare}");
+        assert!(bare.contains("graphex_overlay_upserts_total 3"), "{bare}");
+
+        let mut fleet = String::new();
+        render_overlay_families(
+            &[("tenant=\"acme\"".into(), status), ("tenant=\"bob\"".into(), OverlayStatus::default())],
+            &mut fleet,
+        );
+        assert!(fleet.contains("graphex_overlay_seq{tenant=\"acme\"} 9"), "{fleet}");
+        assert!(fleet.contains("graphex_overlay_seq{tenant=\"bob\"} 0"), "{fleet}");
+        // One TYPE header per family, not per row.
+        assert_eq!(fleet.matches("# TYPE graphex_overlay_seq gauge").count(), 1);
+
+        let mut empty = String::new();
+        render_overlay_families(&[], &mut empty);
+        assert!(empty.is_empty());
     }
 }

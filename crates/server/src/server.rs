@@ -24,10 +24,12 @@
 
 use crate::http::{self, ReadError, Request};
 use crate::json::{self, Json};
-use crate::metrics::{Endpoint, HttpMetrics};
+use crate::metrics::{render_overlay_families, Endpoint, HttpMetrics};
 use crate::queue::Bounded;
-use graphex_core::{Alignment, InferRequest};
-use graphex_serving::{FleetError, ServeSource, ServeStats, Served, ServingApi, TenantFleet};
+use graphex_core::{Alignment, InferRequest, KeyphraseRecord, LeafId};
+use graphex_serving::{
+    FleetError, OverlayError, OverlayStatus, ServeSource, Served, ServingApi, TenantFleet,
+};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -174,16 +176,12 @@ impl ServerHandle {
     }
 
     /// The serving facade behind a single-api frontend (counter
-    /// access).
-    ///
-    /// # Panics
-    ///
-    /// On a fleet-mode server — per-tenant apis live behind
-    /// [`ServerHandle::fleet`].
-    pub fn api(&self) -> &Arc<ServingApi> {
+    /// access), or `None` on a fleet-mode server — per-tenant apis live
+    /// behind [`ServerHandle::fleet`].
+    pub fn api(&self) -> Option<&Arc<ServingApi>> {
         match &self.inner.backend {
-            Backend::Single(api) => api,
-            Backend::Fleet(_) => panic!("fleet-mode server has no single api; use fleet()"),
+            Backend::Single(api) => Some(api),
+            Backend::Fleet(_) => None,
         }
     }
 
@@ -347,13 +345,15 @@ fn handle_connection(conn: Conn, inner: &Inner) {
             && !draining
             && requests_served < MAX_KEEPALIVE_REQUESTS;
         let outcome = route(&request, started, inner);
+        let extra: Vec<(&str, &str)> =
+            outcome.extra_headers.iter().map(|(k, v)| (*k, v.as_str())).collect();
         let written = http::write_response(
             &mut write_half,
             outcome.status,
             outcome.content_type,
             outcome.body.as_bytes(),
             keep_alive,
-            &outcome.extra_headers,
+            &extra,
         );
         inner.metrics.record_response(outcome.endpoint, outcome.status);
         if outcome.endpoint == Endpoint::Infer {
@@ -370,7 +370,7 @@ struct Routed {
     status: u16,
     content_type: &'static str,
     body: String,
-    extra_headers: Vec<(&'static str, &'static str)>,
+    extra_headers: Vec<(&'static str, String)>,
 }
 
 impl Routed {
@@ -387,11 +387,19 @@ impl Routed {
     }
 }
 
-/// Splits a tenant-scoped inference path: `/v1/t/<tenant>/infer` →
-/// `Some(tenant)`. The tenant segment is not validated here — the
-/// fleet refuses bad names with a 404.
+/// Splits a tenant-scoped action path: `/v1/t/<tenant>/<action>` →
+/// `Some(tenant)` (e.g. `tenant_action(path, "infer")`,
+/// `tenant_action(path, "overlay/journal")`). The tenant segment is not
+/// validated here — the fleet refuses bad names with a 404.
+fn tenant_action<'p>(path: &'p str, action: &str) -> Option<&'p str> {
+    let tenant =
+        path.strip_prefix("/v1/t/")?.strip_suffix(action)?.strip_suffix('/')?;
+    (!tenant.is_empty() && !tenant.contains('/')).then_some(tenant)
+}
+
+/// Shorthand for the inference flavour of [`tenant_action`].
 fn tenant_path(path: &str) -> Option<&str> {
-    path.strip_prefix("/v1/t/")?.strip_suffix("/infer").filter(|t| !t.contains('/'))
+    tenant_action(path, "infer")
 }
 
 fn route(request: &Request, started: Instant, inner: &Inner) -> Routed {
@@ -406,7 +414,11 @@ fn route(request: &Request, started: Instant, inner: &Inner) -> Routed {
             "text/plain; version=0.0.4; charset=utf-8",
             match &inner.backend {
                 Backend::Single(api) => {
-                    inner.metrics.render_prometheus(&api.stats(), inner.queue.len())
+                    let mut out = inner.metrics.render_prometheus(&api.stats(), inner.queue.len());
+                    if let Some(status) = api.overlay_status() {
+                        render_overlay_families(&[(String::new(), status)], &mut out);
+                    }
+                    out
                 }
                 Backend::Fleet(fleet) => {
                     inner.metrics.render_prometheus_fleet(fleet, inner.queue.len())
@@ -417,14 +429,41 @@ fn route(request: &Request, started: Instant, inner: &Inner) -> Routed {
         ("POST", path) if tenant_path(path).is_some() => {
             infer(request, started, inner, tenant_path(path))
         }
+        ("POST", "/v1/upsert") => upsert(request, inner, None),
+        ("POST", path) if tenant_action(path, "upsert").is_some() => {
+            upsert(request, inner, tenant_action(path, "upsert"))
+        }
+        ("GET", "/v1/overlay/journal") => overlay_journal(inner, None),
+        ("GET", path) if tenant_action(path, "overlay/journal").is_some() => {
+            overlay_journal(inner, tenant_action(path, "overlay/journal"))
+        }
+        ("POST", "/v1/overlay/drain") => overlay_drain(request, inner, None),
+        ("POST", path) if tenant_action(path, "overlay/drain").is_some() => {
+            overlay_drain(request, inner, tenant_action(path, "overlay/drain"))
+        }
         (_, "/healthz" | "/statusz" | "/metrics") => {
             let mut routed = Routed::error(Endpoint::Other, 405, "method not allowed");
-            routed.extra_headers.push(("Allow", "GET"));
+            routed.extra_headers.push(("Allow", "GET".into()));
             routed
         }
-        (_, path) if path == "/v1/infer" || tenant_path(path).is_some() => {
+        (_, path)
+            if path == "/v1/overlay/journal"
+                || tenant_action(path, "overlay/journal").is_some() =>
+        {
             let mut routed = Routed::error(Endpoint::Other, 405, "method not allowed");
-            routed.extra_headers.push(("Allow", "POST"));
+            routed.extra_headers.push(("Allow", "GET".into()));
+            routed
+        }
+        (_, path)
+            if path == "/v1/infer"
+                || path == "/v1/upsert"
+                || path == "/v1/overlay/drain"
+                || tenant_path(path).is_some()
+                || tenant_action(path, "upsert").is_some()
+                || tenant_action(path, "overlay/drain").is_some() =>
+        {
+            let mut routed = Routed::error(Endpoint::Other, 405, "method not allowed");
+            routed.extra_headers.push(("Allow", "POST".into()));
             routed
         }
         _ => Routed::error(Endpoint::Other, 404, format!("no route for {}", request.path)),
@@ -435,12 +474,31 @@ fn route(request: &Request, started: Instant, inner: &Inner) -> Routed {
 /// a single-api server, extended with the fleet table in fleet mode.
 fn statusz(inner: &Inner) -> Json {
     match &inner.backend {
-        Backend::Single(api) => statusz_single(&api.stats(), inner),
+        Backend::Single(api) => statusz_single(api, inner),
         Backend::Fleet(fleet) => statusz_fleet(fleet, inner),
     }
 }
 
-fn statusz_single(stats: &ServeStats, inner: &Inner) -> Json {
+/// The `/statusz` shape of one [`OverlayStatus`] snapshot (shared by
+/// the single-mode top-level object and the fleet table rows).
+fn overlay_status_json(status: &OverlayStatus) -> Json {
+    Json::obj(vec![
+        ("seq", Json::uint(status.seq)),
+        ("drained_upto", Json::uint(status.drained_upto)),
+        ("depth", Json::uint(status.depth as u64)),
+        ("journal_bytes", Json::uint(status.journal_bytes as u64)),
+        ("cap_bytes", Json::uint(status.cap_bytes as u64)),
+        ("leaves", Json::uint(status.leaves as u64)),
+        ("upserts_applied", Json::uint(status.upserts_applied)),
+        ("records_applied", Json::uint(status.records_applied)),
+        ("upserts_shed", Json::uint(status.upserts_shed)),
+        ("drains", Json::uint(status.drains)),
+    ])
+}
+
+fn statusz_single(api: &ServingApi, inner: &Inner) -> Json {
+    let stats = api.stats();
+    let stats = &stats;
     Json::obj(vec![
         ("snapshot_version", Json::uint(stats.snapshot_version)),
         ("model_swaps", Json::uint(stats.model_swaps)),
@@ -453,6 +511,14 @@ fn statusz_single(stats: &ServeStats, inner: &Inner) -> Json {
         ("direct", Json::uint(stats.direct)),
         ("unservable", Json::uint(stats.unservable)),
         ("invalidated", Json::uint(stats.invalidated)),
+        ("overlay_invalidated", Json::uint(stats.overlay_invalidated)),
+        (
+            "overlay",
+            match api.overlay_status() {
+                Some(status) => overlay_status_json(&status),
+                None => Json::Null,
+            },
+        ),
         (
             "outcomes",
             Json::obj(
@@ -498,6 +564,13 @@ fn statusz_fleet(fleet: &TenantFleet, inner: &Inner) -> Json {
                 ("read_throughs", Json::uint(t.stats.read_throughs)),
                 ("in_flight", Json::uint(t.stats.in_flight)),
                 ("model_swaps", Json::uint(t.stats.model_swaps)),
+                (
+                    "overlay",
+                    match &t.overlay {
+                        Some(status) => overlay_status_json(status),
+                        None => Json::Null,
+                    },
+                ),
             ])
         })
         .collect();
@@ -513,32 +586,43 @@ fn statusz_fleet(fleet: &TenantFleet, inner: &Inner) -> Json {
     ])
 }
 
-fn infer(request: &Request, started: Instant, inner: &Inner, tenant: Option<&str>) -> Routed {
-    // Resolve the serving api first: single backend, or per-tenant
-    // lookup (with lazy admission) through the fleet. Tenant routing
-    // failures are client errors (404) — an unknown or invalid tenant
-    // name must never count against the 5xx budget — while an admission
-    // failure of a *known* tenant (corrupt snapshot) is a 503: retrying
-    // after a fixed publish succeeds.
-    let api: Arc<ServingApi> = match (&inner.backend, tenant) {
-        (Backend::Single(api), None) => Arc::clone(api),
+/// Resolves the serving api a request addresses: single backend, or
+/// per-tenant lookup (with lazy admission) through the fleet. Tenant
+/// routing failures are client errors (404) — an unknown or invalid
+/// tenant name must never count against the 5xx budget — while an
+/// admission failure of a *known* tenant (corrupt snapshot) is a 503:
+/// retrying after a fixed publish succeeds.
+fn resolve_api(
+    inner: &Inner,
+    tenant: Option<&str>,
+    endpoint: Endpoint,
+) -> Result<Arc<ServingApi>, Routed> {
+    match (&inner.backend, tenant) {
+        (Backend::Single(api), None) => Ok(Arc::clone(api)),
         (Backend::Single(_), Some(_)) => {
-            return Routed::error(Endpoint::Infer, 404, "no tenant fleet configured");
+            Err(Routed::error(endpoint, 404, "no tenant fleet configured"))
         }
         (Backend::Fleet(fleet), tenant) => {
             let name = tenant.unwrap_or(fleet.default_tenant());
             match fleet.api(name) {
-                Ok(api) => api,
+                Ok(api) => Ok(api),
                 Err(e @ (FleetError::InvalidName(_) | FleetError::UnknownTenant(_))) => {
-                    return Routed::error(Endpoint::Infer, 404, e.to_string());
+                    Err(Routed::error(endpoint, 404, e.to_string()))
                 }
                 Err(e @ FleetError::Tenant { .. }) => {
-                    let mut routed = Routed::error(Endpoint::Infer, 503, e.to_string());
-                    routed.extra_headers.push(("Retry-After", "1"));
-                    return routed;
+                    let mut routed = Routed::error(endpoint, 503, e.to_string());
+                    routed.extra_headers.push(("Retry-After", "1".into()));
+                    Err(routed)
                 }
             }
         }
+    }
+}
+
+fn infer(request: &Request, started: Instant, inner: &Inner, tenant: Option<&str>) -> Routed {
+    let api = match resolve_api(inner, tenant, Endpoint::Infer) {
+        Ok(api) => api,
+        Err(routed) => return routed,
     };
 
     // Deadline check happens before any parsing or inference: a request
@@ -547,7 +631,7 @@ fn infer(request: &Request, started: Instant, inner: &Inner, tenant: Option<&str
         if started.elapsed() > deadline {
             api.note_deadline_exceeded();
             let mut routed = Routed::error(Endpoint::Infer, 503, "deadline exceeded");
-            routed.extra_headers.push(("Retry-After", "1"));
+            routed.extra_headers.push(("Retry-After", "1".into()));
             return routed;
         }
     }
@@ -608,6 +692,169 @@ fn infer(request: &Request, started: Instant, inner: &Inner, tenant: Option<&str
         }
         Some(_) => Routed::error(Endpoint::Infer, 400, "\"requests\" must be an array"),
     }
+}
+
+/// `POST /v1/upsert` (and `/v1/t/<tenant>/upsert`): the NRT overlay
+/// write path. Accepts one record object or a `{"records":[...]}`
+/// batch; an accepted batch is servable before the ack is written.
+/// No overlay attached → 404; a full journal → 429 + `Retry-After`
+/// (write shedding, mirroring the accept-queue policy); a malformed
+/// record → 400. None of these count against the 5xx budget.
+fn upsert(request: &Request, inner: &Inner, tenant: Option<&str>) -> Routed {
+    let api = match resolve_api(inner, tenant, Endpoint::Upsert) {
+        Ok(api) => api,
+        Err(routed) => return routed,
+    };
+    if api.overlay().is_none() {
+        return Routed::error(
+            Endpoint::Upsert,
+            404,
+            "overlay serving is not enabled; start the server with --overlay",
+        );
+    }
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return Routed::error(Endpoint::Upsert, 400, "body is not valid UTF-8");
+    };
+    let envelope = match json::parse(text) {
+        Ok(value) => value,
+        Err(e) => return Routed::error(Endpoint::Upsert, 400, format!("invalid JSON: {e}")),
+    };
+    let records = match envelope.get("records") {
+        None => match decode_record(&envelope) {
+            Ok(record) => vec![record],
+            Err(message) => return Routed::error(Endpoint::Upsert, 400, message),
+        },
+        Some(Json::Arr(entries)) => {
+            if entries.is_empty() {
+                return Routed::error(Endpoint::Upsert, 400, "\"records\" must not be empty");
+            }
+            if entries.len() > MAX_BATCH {
+                return Routed::error(
+                    Endpoint::Upsert,
+                    400,
+                    format!("batch of {} exceeds cap of {MAX_BATCH}", entries.len()),
+                );
+            }
+            let mut records = Vec::with_capacity(entries.len());
+            for (i, entry) in entries.iter().enumerate() {
+                match decode_record(entry) {
+                    Ok(record) => records.push(record),
+                    Err(message) => {
+                        return Routed::error(
+                            Endpoint::Upsert,
+                            400,
+                            format!("records[{i}]: {message}"),
+                        )
+                    }
+                }
+            }
+            records
+        }
+        Some(_) => return Routed::error(Endpoint::Upsert, 400, "\"records\" must be an array"),
+    };
+    match api.apply_upsert(&records) {
+        Ok(ack) => Routed::json(
+            Endpoint::Upsert,
+            200,
+            &Json::obj(vec![
+                ("seq", Json::uint(ack.seq)),
+                ("applied", Json::uint(ack.applied as u64)),
+                ("depth", Json::uint(ack.depth as u64)),
+                ("journal_bytes", Json::uint(ack.journal_bytes as u64)),
+                ("snapshot_version", Json::uint(api.snapshot_version())),
+            ]),
+        ),
+        Err(e @ OverlayError::CapExceeded { retry_after_secs, .. }) => {
+            let mut routed = Routed::error(Endpoint::Upsert, 429, e.to_string());
+            routed.extra_headers.push(("Retry-After", retry_after_secs.to_string()));
+            routed
+        }
+        Err(e @ OverlayError::Invalid(_)) => Routed::error(Endpoint::Upsert, 400, e.to_string()),
+    }
+}
+
+/// `GET /v1/overlay/journal`: exports the uncompacted journal in the
+/// line-oriented interchange format `graphex build --overlay-journal`
+/// ingests. The compactor fetches this, rebuilds, publishes, then
+/// `POST /v1/overlay/drain`s up to the journal's high-water mark.
+fn overlay_journal(inner: &Inner, tenant: Option<&str>) -> Routed {
+    let api = match resolve_api(inner, tenant, Endpoint::Overlay) {
+        Ok(api) => api,
+        Err(routed) => return routed,
+    };
+    match api.export_overlay_journal() {
+        Some(journal) => Routed::new(
+            Endpoint::Overlay,
+            200,
+            "text/plain; charset=utf-8",
+            journal.to_text(),
+        ),
+        None => Routed::error(Endpoint::Overlay, 404, "overlay serving is not enabled"),
+    }
+}
+
+/// `POST /v1/overlay/drain` with `{"upto": N}`: drops journal entries
+/// absorbed by a published compaction. Entries that arrived after the
+/// journal export survive and keep serving.
+fn overlay_drain(request: &Request, inner: &Inner, tenant: Option<&str>) -> Routed {
+    let api = match resolve_api(inner, tenant, Endpoint::Overlay) {
+        Ok(api) => api,
+        Err(routed) => return routed,
+    };
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return Routed::error(Endpoint::Overlay, 400, "body is not valid UTF-8");
+    };
+    let envelope = match json::parse(text) {
+        Ok(value) => value,
+        Err(e) => return Routed::error(Endpoint::Overlay, 400, format!("invalid JSON: {e}")),
+    };
+    let Some(upto) = envelope.get("upto").and_then(Json::as_u64) else {
+        return Routed::error(Endpoint::Overlay, 400, "missing or non-integer \"upto\"");
+    };
+    match api.drain_overlay(upto) {
+        Some(report) => Routed::json(
+            Endpoint::Overlay,
+            200,
+            &Json::obj(vec![
+                ("drained", Json::uint(report.drained as u64)),
+                ("remaining", Json::uint(report.remaining as u64)),
+            ]),
+        ),
+        None => Routed::error(Endpoint::Overlay, 404, "overlay serving is not enabled"),
+    }
+}
+
+/// Decodes one upsert record: `{"text": "...", "leaf": N, "search": N,
+/// "recall": N}` (recall optional, defaulting to 0). Validation beyond
+/// shape — empty text, reserved bytes — happens in the overlay store so
+/// HTTP and in-process writers are refused identically.
+fn decode_record(value: &Json) -> Result<KeyphraseRecord, String> {
+    if !matches!(value, Json::Obj(_)) {
+        return Err("record must be a JSON object".into());
+    }
+    let text = value
+        .get("text")
+        .and_then(Json::as_str)
+        .ok_or("missing or non-string \"text\"")?
+        .to_string();
+    let leaf = value
+        .get("leaf")
+        .and_then(Json::as_u64)
+        .ok_or("missing or non-integer \"leaf\"")?;
+    let leaf = u32::try_from(leaf).map_err(|_| "\"leaf\" exceeds u32 range".to_string())?;
+    let search = value
+        .get("search")
+        .and_then(Json::as_u64)
+        .ok_or("missing or non-integer \"search\"")?;
+    let search = u32::try_from(search).map_err(|_| "\"search\" exceeds u32 range".to_string())?;
+    let recall = match value.get("recall") {
+        None => 0,
+        Some(v) => {
+            let recall = v.as_u64().ok_or("\"recall\" must be a non-negative integer")?;
+            u32::try_from(recall).map_err(|_| "\"recall\" exceeds u32 range".to_string())?
+        }
+    };
+    Ok(KeyphraseRecord::new(text, LeafId(leaf), search, recall))
 }
 
 /// One decoded infer envelope (owns the strings the borrowed
@@ -716,7 +963,7 @@ mod tests {
     use super::*;
     use crate::client::HttpClient;
     use graphex_core::{GraphExBuilder, GraphExConfig, KeyphraseRecord, LeafId};
-    use graphex_serving::KvStore;
+    use graphex_serving::{KvStore, OverlayStore};
     use std::io::Write as _;
 
     fn api() -> Arc<ServingApi> {
@@ -732,6 +979,23 @@ mod tests {
             .build()
             .unwrap();
         Arc::new(ServingApi::new(Arc::new(model), Arc::new(KvStore::new()), 10))
+    }
+
+    fn api_with_overlay(cap_bytes: usize) -> Arc<ServingApi> {
+        let mut config = GraphExConfig::default();
+        config.curation.min_search_count = 0;
+        config.build_meta_fallback = false;
+        let model = GraphExBuilder::new(config)
+            .add_records(vec![
+                KeyphraseRecord::new("widget gadget", LeafId(1), 90, 5),
+                KeyphraseRecord::new("widget gadget pro", LeafId(1), 50, 5),
+            ])
+            .build()
+            .unwrap();
+        Arc::new(
+            ServingApi::new(Arc::new(model), Arc::new(KvStore::new()), 10)
+                .with_overlay(Arc::new(OverlayStore::with_cap(cap_bytes))),
+        )
     }
 
     fn test_config() -> ServerConfig {
@@ -877,7 +1141,7 @@ mod tests {
         let response = shed.get("/healthz").unwrap();
         assert_eq!(response.status, 429);
         assert_eq!(response.header("retry-after"), Some("1"));
-        assert_eq!(server.api().stats().shed, 1);
+        assert_eq!(server.api().unwrap().stats().shed, 1);
         assert_eq!(server.metrics().connections_shed.load(Ordering::Relaxed), 1);
         drop((held, _queued, shed));
         server.shutdown();
@@ -894,7 +1158,7 @@ mod tests {
         let response =
             client.post_json("/v1/infer", r#"{"title":"widget gadget","leaf":1}"#).unwrap();
         assert_eq!(response.status, 503);
-        let stats = server.api().stats();
+        let stats = server.api().unwrap().stats();
         assert_eq!(stats.deadline_exceeded, 1);
         assert_eq!(stats.outcomes.total(), 0, "no inference ran");
         // Health/stats endpoints are exempt from the inference deadline.
@@ -945,7 +1209,7 @@ mod tests {
         let response =
             client.post_json("/v1/infer", r#"{"title":"widget gadget","leaf":1}"#).unwrap();
         assert_eq!(response.status, 200, "{}", response.text());
-        assert_eq!(server.api().stats().deadline_exceeded, 0);
+        assert_eq!(server.api().unwrap().stats().deadline_exceeded, 0);
         drop(client);
         server.shutdown();
     }
@@ -1084,6 +1348,177 @@ mod tests {
         ));
         assert_eq!(server.metrics().server_errors(), 0);
 
+        drop(client);
+        server.shutdown();
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// The NRT write path end to end over HTTP: an acked upsert is
+    /// servable on the very next request, the journal exports, and a
+    /// drain drops exactly the absorbed prefix.
+    #[test]
+    fn upsert_round_trip_serves_new_leaf_immediately() {
+        let server = crate::start(test_config(), api_with_overlay(1 << 20)).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+
+        // Onboard a brand-new leaf.
+        let ack = client
+            .post_json("/v1/upsert", r#"{"text":"solar panel kit","leaf":42,"search":120,"recall":9}"#)
+            .unwrap();
+        assert_eq!(ack.status, 200, "{}", ack.text());
+        let ack = json::parse(&ack.text()).unwrap();
+        assert_eq!(ack.get("seq").unwrap().as_u64(), Some(1));
+        assert_eq!(ack.get("applied").unwrap().as_u64(), Some(1));
+
+        // The very next request serves it.
+        let served = client
+            .post_json("/v1/infer", r#"{"title":"solar panel kit","leaf":42,"k":3}"#)
+            .unwrap();
+        assert_eq!(served.status, 200, "{}", served.text());
+        let served = json::parse(&served.text()).unwrap();
+        let phrases = served.get("keyphrases").unwrap().as_arr().unwrap();
+        assert!(
+            phrases.iter().any(|p| p.as_str() == Some("solar panel kit")),
+            "upserted phrase must serve: {phrases:?}"
+        );
+
+        // Batch envelope onto an existing leaf: composes with base content.
+        let batch = client
+            .post_json("/v1/upsert", r#"{"records":[{"text":"widget gadget ultra","leaf":1,"search":80}]}"#)
+            .unwrap();
+        assert_eq!(batch.status, 200, "{}", batch.text());
+        let augmented = client
+            .post_json("/v1/infer", r#"{"title":"widget gadget ultra","leaf":1,"k":5}"#)
+            .unwrap();
+        let augmented = json::parse(&augmented.text()).unwrap();
+        let phrases = augmented.get("keyphrases").unwrap().as_arr().unwrap();
+        assert!(phrases.iter().any(|p| p.as_str() == Some("widget gadget ultra")), "{phrases:?}");
+        assert!(phrases.iter().any(|p| p.as_str() == Some("widget gadget")), "base content kept: {phrases:?}");
+
+        // The journal exports both records in interchange form.
+        let journal = client.get("/v1/overlay/journal").unwrap();
+        assert_eq!(journal.status, 200);
+        let text = journal.text();
+        assert!(text.contains("solar panel kit"), "{text}");
+        assert!(text.contains("widget gadget ultra"), "{text}");
+
+        // /statusz and /metrics surface the overlay.
+        let status = json::parse(&client.get("/statusz").unwrap().text()).unwrap();
+        let overlay = status.get("overlay").unwrap();
+        assert_eq!(overlay.get("depth").unwrap().as_u64(), Some(2));
+        assert_eq!(overlay.get("upserts_applied").unwrap().as_u64(), Some(2));
+        let metrics = client.get("/metrics").unwrap().text();
+        assert!(metrics.contains("graphex_overlay_depth 2"), "{metrics}");
+        assert!(metrics.contains("graphex_http_requests_total{endpoint=\"upsert\",code=\"200\"} 2"));
+
+        // Drain the first entry (as a compaction that absorbed seq 1 would).
+        let drained = client.post_json("/v1/overlay/drain", r#"{"upto":1}"#).unwrap();
+        assert_eq!(drained.status, 200, "{}", drained.text());
+        let drained = json::parse(&drained.text()).unwrap();
+        assert_eq!(drained.get("drained").unwrap().as_u64(), Some(1));
+        assert_eq!(drained.get("remaining").unwrap().as_u64(), Some(1));
+
+        assert_eq!(server.metrics().server_errors(), 0);
+        drop(client);
+        server.shutdown();
+    }
+
+    /// Write-path refusals are all client errors: no overlay → 404, a
+    /// full journal → 429 with `Retry-After`, a bad record → 400.
+    #[test]
+    fn upsert_refusals_are_404_429_400() {
+        // No overlay attached.
+        let server = crate::start(test_config(), api()).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let refused = client
+            .post_json("/v1/upsert", r#"{"text":"x","leaf":1,"search":1}"#)
+            .unwrap();
+        assert_eq!(refused.status, 404);
+        assert!(refused.text().contains("--overlay"), "{}", refused.text());
+        assert_eq!(client.get("/v1/overlay/journal").unwrap().status, 404);
+        // Wrong methods on overlay paths are 405s, not 404s.
+        assert_eq!(client.get("/v1/upsert").unwrap().status, 405);
+        assert_eq!(client.post_json("/v1/overlay/journal", "{}").unwrap().status, 405);
+        drop(client);
+        server.shutdown();
+
+        // A tiny cap sheds the write with 429 + Retry-After.
+        let server = crate::start(test_config(), api_with_overlay(8)).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let shed = client
+            .post_json("/v1/upsert", r#"{"text":"a phrase far larger than the cap","leaf":7,"search":10}"#)
+            .unwrap();
+        assert_eq!(shed.status, 429, "{}", shed.text());
+        assert_eq!(shed.header("retry-after"), Some("5"));
+
+        // Malformed records are 400s.
+        for body in [
+            r#"{"text":"","leaf":1,"search":1}"#,
+            r#"{"leaf":1,"search":1}"#,
+            r#"{"text":"x","leaf":1}"#,
+            r#"{"records":[]}"#,
+            r#"{"records":7}"#,
+        ] {
+            let mut fresh = HttpClient::connect(server.addr()).unwrap();
+            let response = fresh.post_json("/v1/upsert", body).unwrap();
+            assert_eq!(response.status, 400, "{body}: {}", response.text());
+        }
+        assert_eq!(server.metrics().server_errors(), 0);
+        drop(client);
+        server.shutdown();
+    }
+
+    /// Fleet mode: upserts route per tenant, land in that tenant's
+    /// overlay only, and export under its `tenant` metrics label.
+    #[test]
+    fn fleet_upserts_are_tenant_scoped() {
+        let root = std::env::temp_dir()
+            .join(format!("graphex-server-fleet-upsert-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let fleet = TenantFleet::open(
+            &root,
+            graphex_serving::FleetConfig { resident_cap: 2, overlay: true, ..Default::default() },
+        )
+        .unwrap();
+        fleet.publish_model("default", &tenant_model(0), "seed").unwrap();
+        fleet.publish_model("alpha", &tenant_model(1), "seed").unwrap();
+        let server = crate::start_fleet(test_config(), Arc::new(fleet)).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+
+        let ack = client
+            .post_json("/v1/t/alpha/upsert", r#"{"text":"alpha exclusive phrase","leaf":9,"search":60}"#)
+            .unwrap();
+        assert_eq!(ack.status, 200, "{}", ack.text());
+
+        // Alpha serves it; the default tenant does not know the leaf.
+        let alpha = client
+            .post_json("/v1/t/alpha/infer", r#"{"title":"alpha exclusive phrase","leaf":9}"#)
+            .unwrap();
+        let alpha = json::parse(&alpha.text()).unwrap();
+        let phrases = alpha.get("keyphrases").unwrap().as_arr().unwrap();
+        assert!(phrases.iter().any(|p| p.as_str() == Some("alpha exclusive phrase")), "{phrases:?}");
+        let other = client
+            .post_json("/v1/infer", r#"{"title":"alpha exclusive phrase","leaf":9}"#)
+            .unwrap();
+        let other = json::parse(&other.text()).unwrap();
+        let leaked = other.get("keyphrases").unwrap().as_arr().unwrap();
+        assert!(
+            leaked.iter().all(|p| p.as_str() != Some("alpha exclusive phrase")),
+            "alpha's upsert leaked into the default tenant: {leaked:?}"
+        );
+
+        // Observability carries the tenant label.
+        let metrics = client.get("/metrics").unwrap().text();
+        assert!(metrics.contains("graphex_overlay_depth{tenant=\"alpha\"} 1"), "{metrics}");
+        let status = json::parse(&client.get("/statusz").unwrap().text()).unwrap();
+        let rows = status.get("tenants").unwrap().as_arr().unwrap();
+        let alpha_row = rows
+            .iter()
+            .find(|row| row.get("name").unwrap().as_str() == Some("alpha"))
+            .unwrap();
+        assert_eq!(alpha_row.get("overlay").unwrap().get("depth").unwrap().as_u64(), Some(1));
+
+        assert_eq!(server.metrics().server_errors(), 0);
         drop(client);
         server.shutdown();
         std::fs::remove_dir_all(&root).ok();

@@ -23,9 +23,11 @@
 //!   therefore bumps once per item, not once per concurrent caller.
 
 use crate::kv::KvStore;
+use crate::overlay::{DrainReport, OverlayError, OverlayStatus, OverlayStore, UpsertAck};
 use crate::registry::ModelWatch;
 use graphex_core::{
-    Engine, GraphExModel, InferRequest, InferResponse, KeyphraseService, LeafId, Outcome,
+    Engine, GraphExModel, InferRequest, InferResponse, KeyphraseRecord, KeyphraseService, LeafId,
+    Outcome,
 };
 use graphex_textkit::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -67,6 +69,11 @@ pub struct Served {
     /// snapshot under [`SwapPolicy::Serve`]). 0 = fixed engine without a
     /// registry, or an unservable answer.
     pub snapshot_version: u64,
+    /// Overlay sequence the computing view had absorbed (0 when the api
+    /// serves without an overlay, or on store hits written by
+    /// overlay-blind writers). Write-backs tag the KV record with this so
+    /// later upserts to the same leaf invalidate it.
+    pub overlay_epoch: u64,
 }
 
 /// One in-flight read-through; followers block on `ready` until the leader
@@ -121,6 +128,13 @@ pub enum SwapPolicy {
 pub struct ServingApi {
     watch: ModelWatch,
     store: Arc<KvStore>,
+    /// NRT overlay: mutable per-leaf deltas consulted by the read path
+    /// (None = classic snapshot-only serving).
+    overlay: Option<Arc<OverlayStore>>,
+    /// Registry version the overlay's views were last composed against;
+    /// a hot swap triggers a rebase so overlay answers always layer over
+    /// the *serving* snapshot.
+    overlay_base: AtomicU64,
     default_k: usize,
     swap_policy: SwapPolicy,
     store_hits: AtomicU64,
@@ -131,6 +145,9 @@ pub struct ServingApi {
     /// Store hits bypassed because their snapshot tag was stale
     /// ([`SwapPolicy::Invalidate`] only).
     invalidated: AtomicU64,
+    /// Store hits bypassed because an overlay upsert touched their leaf
+    /// after the record was written.
+    overlay_invalidated: AtomicU64,
     /// Requests refused upstream by admission control (recorded by a
     /// network frontend via [`ServingApi::note_shed`]).
     shed: AtomicU64,
@@ -159,6 +176,9 @@ pub struct ServeStats {
     /// Store hits recomputed because their record was tagged with a
     /// different model snapshot ([`SwapPolicy::Invalidate`] only).
     pub invalidated: u64,
+    /// Store hits recomputed because an overlay upsert touched their
+    /// leaf after the record was written (overlay serving only).
+    pub overlay_invalidated: u64,
     /// Requests refused by admission control (load shed, e.g. HTTP 429).
     pub shed: u64,
     /// Requests that missed their deadline (e.g. HTTP 503).
@@ -192,6 +212,7 @@ impl ServeStats {
         self.direct += other.direct;
         self.unservable += other.unservable;
         self.invalidated += other.invalidated;
+        self.overlay_invalidated += other.overlay_invalidated;
         self.shed += other.shed;
         self.deadline_exceeded += other.deadline_exceeded;
         self.in_flight += other.in_flight;
@@ -224,6 +245,8 @@ impl ServingApi {
         Self {
             watch,
             store,
+            overlay: None,
+            overlay_base: AtomicU64::new(0),
             default_k,
             swap_policy: SwapPolicy::default(),
             store_hits: AtomicU64::new(0),
@@ -232,6 +255,7 @@ impl ServingApi {
             direct: AtomicU64::new(0),
             unservable: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
+            overlay_invalidated: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
             in_flight_gauge: AtomicU64::new(0),
@@ -245,6 +269,88 @@ impl ServingApi {
     pub fn swap_policy(mut self, policy: SwapPolicy) -> Self {
         self.swap_policy = policy;
         self
+    }
+
+    /// Attaches an [`OverlayStore`] (builder style; call before sharing
+    /// the api): upserts become servable through
+    /// [`ServingApi::apply_upsert`], and the read path consults the
+    /// overlay view alongside the base snapshot.
+    pub fn with_overlay(mut self, overlay: Arc<OverlayStore>) -> Self {
+        self.overlay_base = AtomicU64::new(self.watch.version());
+        // An overlay handed over with pending entries (tenant re-admit
+        // after eviction) was composed against whatever model served
+        // last; recompose over the snapshot *this* api watches.
+        if !overlay.view().is_empty() {
+            overlay.rebase(self.watch.current().engine.model());
+        }
+        self.overlay = Some(overlay);
+        self
+    }
+
+    /// The attached overlay store, if overlay serving is enabled.
+    pub fn overlay(&self) -> Option<&Arc<OverlayStore>> {
+        self.overlay.as_ref()
+    }
+
+    /// Applies an upsert batch to the overlay: records become servable
+    /// before this returns (the swapped-in view is what the next request
+    /// reads), and every cached KV answer for a touched leaf is
+    /// invalidated lazily via its overlay epoch tag.
+    ///
+    /// Errors with [`OverlayError::CapExceeded`] when the journal is at
+    /// its byte cap (HTTP frontends translate this to 429 +
+    /// `Retry-After`) and [`OverlayError::Invalid`] for malformed
+    /// records or when no overlay is attached.
+    pub fn apply_upsert(&self, records: &[KeyphraseRecord]) -> Result<UpsertAck, OverlayError> {
+        let overlay = self
+            .overlay
+            .as_ref()
+            .ok_or_else(|| OverlayError::Invalid("overlay serving is not enabled".into()))?;
+        let active = self.watch.current();
+        self.rebase_overlay_if_swapped(overlay, &active);
+        overlay.apply(active.engine.model(), records)
+    }
+
+    /// Overlay counters and depth (None when no overlay is attached).
+    pub fn overlay_status(&self) -> Option<OverlayStatus> {
+        self.overlay.as_ref().map(|o| o.status())
+    }
+
+    /// Exports the overlay journal for compaction (None when no overlay
+    /// is attached): the serialized records a delta build folds into the
+    /// next snapshot.
+    pub fn export_overlay_journal(&self) -> Option<crate::overlay::OverlayJournal> {
+        self.overlay.as_ref().map(|o| o.export_journal())
+    }
+
+    /// Drains overlay entries with sequence ≤ `upto` after a compaction
+    /// publish absorbed them into the base snapshot (None when no
+    /// overlay is attached). Late upserts that raced the compaction stay
+    /// in the overlay and keep serving.
+    pub fn drain_overlay(&self, upto: u64) -> Option<DrainReport> {
+        let overlay = self.overlay.as_ref()?;
+        let active = self.watch.current();
+        // Record the base version *before* draining so a publish that
+        // raced in is treated as already-rebased (drain recomposes
+        // against it anyway).
+        self.overlay_base.store(active.version, Ordering::Relaxed);
+        Some(overlay.drain(active.engine.model(), upto))
+    }
+
+    /// Recomposes overlay views over the current snapshot if a hot swap
+    /// landed since they were last built. Cheap when nothing changed
+    /// (one relaxed load); the compare-exchange makes concurrent
+    /// detectors rebase once.
+    fn rebase_overlay_if_swapped(&self, overlay: &OverlayStore, active: &crate::registry::ActiveModel) {
+        let seen = self.overlay_base.load(Ordering::Relaxed);
+        if seen != active.version
+            && self
+                .overlay_base
+                .compare_exchange(seen, active.version, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            overlay.rebase(active.engine.model());
+        }
     }
 
     /// Records one admission-control refusal (load shed). Network
@@ -324,12 +430,18 @@ impl ServingApi {
                 SwapPolicy::Invalidate => self.watch.version(),
             };
             if let Some(stored) = self.store.get(item) {
-                if self.record_is_fresh(stored.snapshot_version, current) {
+                if !self.record_is_fresh(stored.snapshot_version, current) {
+                    // Stale under SwapPolicy::Invalidate: fall through to
+                    // the read-through path, which overwrites the record.
+                    self.invalidated.fetch_add(1, Ordering::Relaxed);
+                } else if !self.overlay_fresh(stored.overlay_epoch, request.leaf) {
+                    // An upsert touched this leaf after the record was
+                    // written: recompute so the answer reflects the
+                    // overlay (the write-back re-tags the record).
+                    self.overlay_invalidated.fetch_add(1, Ordering::Relaxed);
+                } else {
                     return self.count_hit(stored, request.k);
                 }
-                // Stale under SwapPolicy::Invalidate: fall through to the
-                // read-through path, which overwrites the record.
-                self.invalidated.fetch_add(1, Ordering::Relaxed);
             }
             let role = {
                 let mut inflight = self.lock_inflight();
@@ -342,8 +454,14 @@ impl ServingApi {
                 // A present-but-stale record does *not* `continue` (the
                 // next pass would see it stale again and loop forever); it
                 // proceeds to leader election so it gets overwritten.
-                match self.store.probe_snapshot(item) {
-                    Some(tag) if self.record_is_fresh(tag, current) => continue,
+                // Overlay staleness joins the probe for the same reason.
+                match self.store.probe_tags(item) {
+                    Some((tag, epoch))
+                        if self.record_is_fresh(tag, current)
+                            && self.overlay_fresh(epoch, request.leaf) =>
+                    {
+                        continue
+                    }
                     _ => {}
                 }
                 if let Some(flight) = inflight.get(&item) {
@@ -379,11 +497,12 @@ impl ServingApi {
                     let mut guard = LeaderGuard { api: self, item, flight: &flight, armed: true };
                     let served = self.compute(request);
                     if served.outcome.is_servable() {
-                        self.store.put(
+                        self.store.put_tagged(
                             item,
                             served.keyphrases.clone(),
                             served.outcome,
                             served.snapshot_version,
+                            served.overlay_epoch,
                         );
                     }
                     // Store write is published; only now may new callers
@@ -416,6 +535,7 @@ impl ServingApi {
             direct: load(&self.direct),
             unservable: load(&self.unservable),
             invalidated: load(&self.invalidated),
+            overlay_invalidated: load(&self.overlay_invalidated),
             shed: load(&self.shed),
             deadline_exceeded: load(&self.deadline_exceeded),
             in_flight: load(&self.in_flight_gauge),
@@ -441,6 +561,18 @@ impl ServingApi {
         }
     }
 
+    /// Whether a store record's overlay epoch is at least as new as the
+    /// last upsert touching the request's leaf. Trivially true without an
+    /// overlay; `leaf_seq` is monotone and survives drains, so records
+    /// written by overlay-blind writers (epoch 0) go stale the moment an
+    /// upsert touches their leaf, and never before.
+    fn overlay_fresh(&self, record_epoch: u64, leaf: LeafId) -> bool {
+        match &self.overlay {
+            None => true,
+            Some(overlay) => record_epoch >= overlay.leaf_seq(leaf),
+        }
+    }
+
     /// Pure inference through the engine pool (no store interaction).
     /// Text resolution is forced only when the answer can reach the store
     /// (the store holds texts); id-less requests keep the caller's
@@ -454,7 +586,19 @@ impl ServingApi {
         // Resolve the model per computation: this is the hot-swap seam.
         // The `Arc` held here pins the snapshot for the whole inference.
         let active = self.watch.current();
-        let response = active.engine.infer(&request);
+        // Capture the overlay view (and its epoch) *before* inferring:
+        // the epoch tags the write-back, and tagging with a view captured
+        // after inference could claim upserts the answer never saw.
+        let (view, overlay_epoch) = match &self.overlay {
+            Some(overlay) => {
+                self.rebase_overlay_if_swapped(overlay, &active);
+                let view = overlay.view();
+                let epoch = view.seq();
+                (Some(view), epoch)
+            }
+            None => (None, 0),
+        };
+        let response = active.engine.infer_with_overlay(&request, view.as_deref());
         let source = if !response.outcome.is_servable() {
             ServeSource::None
         } else if request.id.is_some() {
@@ -468,6 +612,7 @@ impl ServingApi {
             outcome: response.outcome,
             predictions: response.predictions,
             snapshot_version: active.version,
+            overlay_epoch,
         }
     }
 
@@ -480,6 +625,7 @@ impl ServingApi {
             outcome: stored.outcome,
             predictions: Vec::new(),
             snapshot_version: stored.snapshot_version,
+            overlay_epoch: stored.overlay_epoch,
         };
         self.count(&served);
         served
@@ -535,6 +681,7 @@ impl Drop for LeaderGuard<'_> {
                 outcome: Outcome::Empty,
                 predictions: Vec::new(),
                 snapshot_version: 0,
+                overlay_epoch: 0,
             });
         }
     }
@@ -890,6 +1037,106 @@ mod tests {
         api.note_deadline_exceeded();
         let stats = api.stats();
         assert_eq!((stats.shed, stats.deadline_exceeded), (2, 1));
+    }
+
+    /// The tentpole read-path property: an upsert is servable on the very
+    /// next request, including for an item whose answer was already
+    /// cached (the overlay epoch tag invalidates it), and for a leaf the
+    /// base snapshot has never seen.
+    #[test]
+    fn upsert_is_servable_and_invalidates_cached_answers() {
+        let store = Arc::new(KvStore::new());
+        let api = ServingApi::new(model(), store.clone(), 10)
+            .with_overlay(Arc::new(crate::overlay::OverlayStore::new()));
+
+        // Cache an answer for item 7 before any upsert.
+        let before = api.serve(7, "widget gadget pro", LeafId(1));
+        assert_eq!(before.source, ServeSource::ReadThrough);
+        assert_eq!(store.get(7).unwrap().overlay_epoch, 0);
+
+        // Upsert a new keyphrase into leaf 1: the cached record is stale.
+        let ack = api
+            .apply_upsert(&[KeyphraseRecord::new("widget gadget ultra", LeafId(1), 999, 1)])
+            .unwrap();
+        assert_eq!(ack.seq, 1);
+        let after = api.serve(7, "widget gadget ultra", LeafId(1));
+        assert_eq!(after.source, ServeSource::ReadThrough, "cached answer was invalidated");
+        assert!(after.keyphrases.iter().any(|k| k == "widget gadget ultra"));
+        assert_eq!(store.get(7).unwrap().overlay_epoch, 1, "write-back re-tagged the record");
+        assert_eq!(api.stats().overlay_invalidated, 1);
+
+        // The re-tagged record is a plain store hit now.
+        assert_eq!(api.serve(7, "widget gadget ultra", LeafId(1)).source, ServeSource::Store);
+
+        // A brand-new leaf the snapshot never saw serves from the overlay.
+        api.apply_upsert(&[KeyphraseRecord::new("quantum doohickey", LeafId(42), 50, 5)])
+            .unwrap();
+        let novel = api.serve(8, "quantum doohickey deluxe", LeafId(42));
+        assert_eq!(novel.outcome, Outcome::ExactLeaf);
+        assert_eq!(novel.keyphrases, ["quantum doohickey"]);
+    }
+
+    /// Draining after a compaction publish keeps answers stable: entries
+    /// absorbed by the new snapshot leave the overlay, late upserts stay.
+    #[test]
+    fn drain_after_publish_keeps_late_upserts_serving() {
+        let root = std::env::temp_dir()
+            .join(format!("graphex-api-overlay-drain-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let registry = crate::ModelRegistry::open(&root).unwrap();
+        registry.publish(&model(), "base").unwrap();
+        let api = ServingApi::with_watch(registry.watch().unwrap(), Arc::new(KvStore::new()), 10)
+            .with_overlay(Arc::new(crate::overlay::OverlayStore::new()));
+
+        api.apply_upsert(&[KeyphraseRecord::new("quantum doohickey", LeafId(42), 50, 5)])
+            .unwrap();
+        let journal = api.export_overlay_journal().unwrap();
+        assert_eq!(journal.upto, 1);
+
+        // Compact: rebuild the union corpus and publish it, then drain.
+        let mut config = GraphExConfig::default();
+        config.curation.min_search_count = 0;
+        config.build_meta_fallback = false;
+        let compacted = Arc::new(
+            GraphExBuilder::new(config)
+                .add_record(KeyphraseRecord::new("widget gadget pro", LeafId(1), 50, 5))
+                .add_records(journal.records())
+                .build()
+                .unwrap(),
+        );
+        // A late upsert races the publish; it must survive the drain.
+        api.apply_upsert(&[KeyphraseRecord::new("late arrival", LeafId(42), 10, 1)]).unwrap();
+        registry.publish(&compacted, "compacted").unwrap();
+        let report = api.drain_overlay(journal.upto).unwrap();
+        assert_eq!((report.drained, report.remaining), (1, 1));
+
+        // Absorbed entry serves from the base snapshot now; the late one
+        // still serves from the overlay.
+        let absorbed = api.serve(1, "quantum doohickey", LeafId(42));
+        assert_eq!(absorbed.keyphrases, ["quantum doohickey"]);
+        let late = api.serve(2, "late arrival", LeafId(42));
+        assert!(late.keyphrases.iter().any(|k| k == "late arrival"));
+        assert_eq!(api.overlay_status().unwrap().depth, 1);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// Upserting through an api without an overlay is a typed error, and
+    /// a full overlay sheds with the retryable cap error.
+    #[test]
+    fn upsert_errors_are_typed() {
+        let api = ServingApi::new(model(), Arc::new(KvStore::new()), 10);
+        assert!(matches!(
+            api.apply_upsert(&[KeyphraseRecord::new("x y", LeafId(1), 1, 1)]),
+            Err(OverlayError::Invalid(_))
+        ));
+
+        let tiny = ServingApi::new(model(), Arc::new(KvStore::new()), 10)
+            .with_overlay(Arc::new(crate::overlay::OverlayStore::with_cap(16)));
+        tiny.apply_upsert(&[KeyphraseRecord::new("fits", LeafId(1), 1, 1)]).ok();
+        assert!(matches!(
+            tiny.apply_upsert(&[KeyphraseRecord::new("over the cap now", LeafId(1), 1, 1)]),
+            Err(OverlayError::CapExceeded { .. })
+        ));
     }
 
     /// Unservable single-flight: coalesced followers of an unservable

@@ -43,6 +43,7 @@
 
 use crate::api::{ServeStats, ServingApi, SwapPolicy};
 use crate::kv::KvStore;
+use crate::overlay::{OverlayStatus, OverlayStore, DEFAULT_OVERLAY_CAP_BYTES};
 use crate::registry::{ModelRegistry, RegistryError, RegistryResult, SnapshotMeta};
 use graphex_core::serialize::LoadMode;
 use graphex_core::GraphExModel;
@@ -69,6 +70,13 @@ pub struct FleetConfig {
     pub swap_policy: SwapPolicy,
     /// Tenant served by legacy (un-prefixed) request paths.
     pub default_tenant: String,
+    /// Attach a per-tenant [`OverlayStore`] to every admitted tenant so
+    /// `/v1/t/<t>/upsert` works. Overlay stores live in the tenant
+    /// state, not the resident incarnation — uncompacted upserts
+    /// survive evict/re-admit churn.
+    pub overlay: bool,
+    /// Journal byte cap for each tenant's overlay (when enabled).
+    pub overlay_cap_bytes: usize,
 }
 
 impl Default for FleetConfig {
@@ -79,6 +87,8 @@ impl Default for FleetConfig {
             load_mode: LoadMode::default(),
             swap_policy: SwapPolicy::Serve,
             default_tenant: "default".into(),
+            overlay: false,
+            overlay_cap_bytes: DEFAULT_OVERLAY_CAP_BYTES,
         }
     }
 }
@@ -148,6 +158,10 @@ struct TenantState {
     admissions: u64,
     evictions: u64,
     resident: Option<Resident>,
+    /// Per-tenant overlay (when [`FleetConfig::overlay`] is set),
+    /// created on first admission and re-attached to every later
+    /// incarnation so uncompacted upserts outlive evictions.
+    overlay: Option<Arc<OverlayStore>>,
 }
 
 struct Inner {
@@ -163,7 +177,10 @@ struct Inner {
 pub struct TenantStatus {
     pub name: String,
     pub resident: bool,
-    /// Active snapshot version (0 while cold).
+    /// Snapshot version: the *active* one while resident, else the
+    /// last-known published version read from the tenant's on-disk
+    /// registry pin (0 only for a tenant that never had a publish).
+    /// A cold tenant with three published snapshots reports 3, not 0.
     pub snapshot_version: u64,
     /// Storage backend actually serving the resident snapshot.
     pub load_mode: Option<LoadMode>,
@@ -178,6 +195,10 @@ pub struct TenantStatus {
     /// Lifetime serve counters: folded evicted incarnations + the live
     /// one.
     pub stats: ServeStats,
+    /// Overlay depth/counters, when the fleet runs with overlays
+    /// enabled (present even while cold — the overlay outlives
+    /// residency).
+    pub overlay: Option<OverlayStatus>,
 }
 
 /// Many named model registries under one root, with lazy admission and
@@ -234,13 +255,13 @@ impl TenantFleet {
     /// Fleet table: one status row per tenant, sorted by name.
     pub fn list(&self) -> Vec<TenantStatus> {
         let inner = self.inner.lock();
-        inner.tenants.iter().map(|(name, state)| Self::status_of(name, state)).collect()
+        inner.tenants.iter().map(|(name, state)| self.status_of(name, state)).collect()
     }
 
     /// One tenant's status row, if the tenant is known.
     pub fn status(&self, name: &str) -> Option<TenantStatus> {
         let inner = self.inner.lock();
-        inner.tenants.get(name).map(|state| Self::status_of(name, state))
+        inner.tenants.get(name).map(|state| self.status_of(name, state))
     }
 
     /// Lifetime serve counters for one tenant (folded + live).
@@ -301,10 +322,19 @@ impl TenantFleet {
         let watch = registry
             .watch()
             .map_err(|e| FleetError::Tenant { name: name.into(), source: e })?;
-        let api = Arc::new(
-            ServingApi::with_watch(watch, Arc::new(KvStore::new()), self.config.default_k)
-                .swap_policy(self.config.swap_policy),
-        );
+        let mut built = ServingApi::with_watch(watch, Arc::new(KvStore::new()), self.config.default_k)
+            .swap_policy(self.config.swap_policy);
+        if self.config.overlay {
+            let state = inner.tenants.get_mut(name).expect("inserted above");
+            let overlay = state
+                .overlay
+                .get_or_insert_with(|| {
+                    Arc::new(OverlayStore::with_cap(self.config.overlay_cap_bytes))
+                })
+                .clone();
+            built = built.with_overlay(overlay);
+        }
+        let api = Arc::new(built);
         let state = inner.tenants.get_mut(name).expect("still present");
         state.admissions += 1;
         state.resident = Some(Resident {
@@ -457,24 +487,34 @@ impl TenantFleet {
         }
     }
 
-    fn status_of(name: &str, state: &TenantState) -> TenantStatus {
+    fn status_of(&self, name: &str, state: &TenantState) -> TenantStatus {
         let mut stats = state.folded;
         let resident = state.resident.as_ref();
         if let Some(r) = resident {
             stats.absorb(&r.api.stats());
         }
+        // A cold tenant still has a last-known published version on
+        // disk: read the registry pin without activating anything, so
+        // `list`/`status` never misreport an evicted tenant as version 0
+        // (it would look like "never published" to operators).
+        let snapshot_version = match resident {
+            Some(r) => r.registry.current_version().unwrap_or(0),
+            None => ModelRegistry::attach(self.tenants_root.join(name))
+                .ok()
+                .and_then(|r| r.pinned_version())
+                .unwrap_or(0),
+        };
         TenantStatus {
             name: name.to_string(),
             resident: resident.is_some(),
-            snapshot_version: resident.map_or(0, |r| {
-                r.registry.current_version().unwrap_or(0)
-            }),
+            snapshot_version,
             load_mode: resident.and_then(|r| r.registry.current().map(|a| a.load_mode)),
             resident_bytes: resident.map_or(0, resident_bytes),
             admissions: state.admissions,
             evictions: state.evictions,
             admitted_in: resident.map(|r| r.admitted_in),
             stats,
+            overlay: state.overlay.as_ref().map(|o| o.status()),
         }
     }
 }
@@ -593,7 +633,10 @@ mod tests {
         assert_eq!(fleet.resident_bytes(), 0);
         let status = fleet.status("solo").unwrap();
         assert_eq!(status.stats.outcomes.exact_leaf, 2);
-        assert_eq!(status.snapshot_version, 0);
+        assert_eq!(
+            status.snapshot_version, 1,
+            "an evicted tenant reports its last-known published version, not 0"
+        );
         // The Arc held across the eviction still serves (in-flight
         // requests are never disturbed).
         assert!(ask(&api, 9).iter().all(|t| t.contains("tenant9")));
@@ -630,6 +673,56 @@ mod tests {
         assert_eq!(swapped[0].0, "ext");
         assert_eq!(*swapped[0].1.as_ref().unwrap(), 2);
         assert!(ask(&fleet.api("ext").unwrap(), 7).iter().all(|t| t.contains("tenant7")));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// A never-admitted tenant's status reads the on-disk registry pin:
+    /// publishes (and rollbacks) to cold tenants show up in `list`.
+    #[test]
+    fn cold_tenant_status_reports_last_published_version() {
+        let root = temproot("cold-version");
+        let fleet = fleet_with(&root, 4, &[("frozen", 1)]);
+        assert_eq!(fleet.status("frozen").unwrap().snapshot_version, 1);
+        fleet.publish_model("frozen", &model(2), "second").unwrap();
+        assert_eq!(fleet.resident_count(), 0, "publish to a cold tenant must not admit");
+        assert_eq!(fleet.status("frozen").unwrap().snapshot_version, 2);
+        // A tenant directory with no publishes yet genuinely is 0.
+        std::fs::create_dir_all(fleet.tenants_root().join("empty")).unwrap();
+        let fleet = TenantFleet::open(&root, FleetConfig::default()).unwrap();
+        assert_eq!(fleet.status("empty").unwrap().snapshot_version, 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// Overlay-enabled fleets keep each tenant's uncompacted upserts
+    /// across evict/re-admit: the overlay store belongs to the tenant,
+    /// not to the resident incarnation.
+    #[test]
+    fn tenant_overlay_survives_eviction() {
+        let root = temproot("overlay");
+        let fleet = TenantFleet::open(
+            &root,
+            FleetConfig { resident_cap: 4, overlay: true, ..FleetConfig::default() },
+        )
+        .unwrap();
+        fleet.publish_model("shop", &model(1), "seed").unwrap();
+
+        let api = fleet.api("shop").unwrap();
+        api.apply_upsert(&[KeyphraseRecord::new("fresh arrival", LeafId(42), 10, 1)]).unwrap();
+        let served = api.serve_request(
+            &InferRequest::new("fresh arrival", LeafId(42)).k(3).id(1).resolve_texts(true),
+        );
+        assert_eq!(served.keyphrases, ["fresh arrival"]);
+
+        assert!(fleet.evict("shop").unwrap());
+        let status = fleet.status("shop").unwrap();
+        assert_eq!(status.overlay.as_ref().map(|o| o.depth), Some(1), "overlay outlives eviction");
+
+        // Re-admission re-attaches the same overlay: still servable.
+        let again = fleet.api("shop").unwrap();
+        let served = again.serve_request(
+            &InferRequest::new("fresh arrival", LeafId(42)).k(3).id(2).resolve_texts(true),
+        );
+        assert_eq!(served.keyphrases, ["fresh arrival"]);
         std::fs::remove_dir_all(&root).ok();
     }
 

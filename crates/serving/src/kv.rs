@@ -27,6 +27,13 @@ pub struct StoredRecs {
     /// keyphrases (0 for a fixed engine without a registry). Lets serving
     /// detect records that outlived a hot swap or rollback.
     pub snapshot_version: u64,
+    /// Overlay sequence the computing view had absorbed when this record
+    /// was written (0 for writers that never saw an overlay: batch, NRT,
+    /// fixed-engine tests). Serving compares it against the overlay's
+    /// per-leaf last-write sequence: an upsert touching the record's leaf
+    /// makes the record stale, so cached answers never hide fresh
+    /// overlay content.
+    pub overlay_epoch: u64,
 }
 
 /// Concurrent item → keyphrases store.
@@ -53,8 +60,24 @@ impl KvStore {
 
     /// Writes (or overwrites) an item's keyphrases, bumping the version.
     /// `snapshot_version` tags the record with the model snapshot that
-    /// produced it (0 for a fixed engine without a registry).
+    /// produced it (0 for a fixed engine without a registry). The overlay
+    /// epoch is 0 — writers that compute against an overlay view use
+    /// [`KvStore::put_tagged`].
     pub fn put(&self, item: u64, keyphrases: Vec<String>, outcome: Outcome, snapshot_version: u64) {
+        self.put_tagged(item, keyphrases, outcome, snapshot_version, 0);
+    }
+
+    /// [`KvStore::put`] with an explicit overlay epoch: the overlay
+    /// sequence the computing view had absorbed, so serving can detect
+    /// records written before a later upsert touched their leaf.
+    pub fn put_tagged(
+        &self,
+        item: u64,
+        keyphrases: Vec<String>,
+        outcome: Outcome,
+        snapshot_version: u64,
+        overlay_epoch: u64,
+    ) {
         let mut shard = self.shard(item).write();
         match shard.get_mut(&item) {
             Some(existing) => {
@@ -62,9 +85,19 @@ impl KvStore {
                 existing.keyphrases = keyphrases;
                 existing.outcome = outcome;
                 existing.snapshot_version = snapshot_version;
+                existing.overlay_epoch = overlay_epoch;
             }
             None => {
-                shard.insert(item, StoredRecs { keyphrases, version: 1, outcome, snapshot_version });
+                shard.insert(
+                    item,
+                    StoredRecs {
+                        keyphrases,
+                        version: 1,
+                        outcome,
+                        snapshot_version,
+                        overlay_epoch,
+                    },
+                );
             }
         }
     }
@@ -84,6 +117,13 @@ impl KvStore {
     /// cloning the keyphrases (cheap enough to call under another lock).
     pub fn probe_snapshot(&self, item: u64) -> Option<u64> {
         self.shard(item).read().get(&item).map(|r| r.snapshot_version)
+    }
+
+    /// Both freshness tags of an item's record —
+    /// `(snapshot_version, overlay_epoch)` — without cloning the
+    /// keyphrases (cheap enough to call under another lock).
+    pub fn probe_tags(&self, item: u64) -> Option<(u64, u64)> {
+        self.shard(item).read().get(&item).map(|r| (r.snapshot_version, r.overlay_epoch))
     }
 
     /// Removes every record whose `snapshot_version` differs from
@@ -172,6 +212,19 @@ mod tests {
         assert!(kv.get(2).is_none());
         assert!(kv.get(3).is_some(), "untagged fixed-engine records survive");
         assert_eq!(kv.purge_stale(1), 0);
+    }
+
+    #[test]
+    fn put_tagged_carries_the_overlay_epoch() {
+        let kv = KvStore::new();
+        kv.put(1, vec!["plain".into()], Outcome::ExactLeaf, 2);
+        assert_eq!(kv.get(1).unwrap().overlay_epoch, 0, "plain puts are untagged");
+        assert_eq!(kv.probe_tags(1), Some((2, 0)));
+        kv.put_tagged(1, vec!["tagged".into()], Outcome::ExactLeaf, 2, 17);
+        let got = kv.get(1).unwrap();
+        assert_eq!((got.version, got.overlay_epoch), (2, 17));
+        assert_eq!(kv.probe_tags(1), Some((2, 17)));
+        assert_eq!(kv.probe_tags(9), None);
     }
 
     #[test]

@@ -24,11 +24,19 @@
 //! Serving, batch, and NRT all consume a [`registry::ModelWatch`] so a
 //! `publish` or `rollback` propagates to every consumer without restart.
 
+//! A fifth part opens the NRT path to *brand-new* items: the
+//! [`OverlayStore`] (module [`overlay`]) layers a mutable per-leaf delta
+//! over the immutable snapshot at query time — upserted records are
+//! servable within one request of their ack, journaled for the next
+//! delta-build compaction, and bounded by a byte cap that sheds writes
+//! once compaction falls behind.
+
 pub mod api;
 pub mod batch;
 pub mod fleet;
 pub mod kv;
 pub mod nrt;
+pub mod overlay;
 pub mod registry;
 
 pub use api::{InFlightGuard, ServeSource, ServeStats, Served, ServingApi, SwapPolicy};
@@ -36,6 +44,10 @@ pub use batch::{BatchPipeline, BatchReport};
 pub use fleet::{FleetConfig, FleetError, FleetResult, TenantFleet, TenantStatus};
 pub use kv::KvStore;
 pub use nrt::{ItemEvent, NrtConfig, NrtService, NrtStats};
+pub use overlay::{
+    DrainReport, OverlayError, OverlayJournal, OverlayStatus, OverlayStore, UpsertAck,
+    DEFAULT_OVERLAY_CAP_BYTES,
+};
 pub use registry::{
     ActiveModel, ModelRegistry, ModelWatch, RegistryError, RegistryResult, SnapshotMeta,
 };
