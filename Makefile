@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test doc clippy bench-smoke bench bench-snapshot serve-smoke bench-http bench-build bench-cluster bench-tenancy bench-overlay cluster-smoke ci
+.PHONY: build test doc clippy bench-smoke bench bench-snapshot serve-smoke bench-http bench-build bench-cluster bench-tenancy bench-overlay bench-trace cluster-smoke ci
 
 # Tier-1 gate, part 1.
 build:
@@ -75,6 +75,15 @@ bench-tenancy:
 bench-overlay:
 	$(CARGO) run --release -p graphex-bench --bin overlaybench -- \
 	  --output BENCH_overlay.json --date $$(date +%Y-%m-%d)
+
+# Request tracing overhead: interleaved tracing-off / tracing-on /
+# slow-log-firing arms over loopback infer traffic; fails if the traced
+# arm is >5% slower than the baseline. Records the
+# BENCH_trace_overhead.json datapoint.
+bench-trace:
+	$(CARGO) run --release -p graphex-bench --bin tracebench -- \
+	  --requests 3000 --connections 4 \
+	  --output BENCH_trace_overhead.json --date $$(date +%Y-%m-%d)
 
 # Cluster smoke: build -> per-shard snapshots -> 3 backends + router,
 # then the sharded≡monolith, rolling-swap zero-5xx, and health gates.

@@ -118,6 +118,7 @@ fn run(args: &Args) -> Result<String, String> {
             max_body_bytes: 1 << 20,
             deadline: Some(Duration::from_secs(10)),
             keep_alive_timeout: Duration::from_secs(10),
+            trace: Default::default(),
         },
         Arc::clone(&api),
     )

@@ -23,6 +23,8 @@ const SWITCHES: &[&str] = &[
     "strict",
     "heap",
     "overlay",
+    "no-trace",
+    "slow",
 ];
 
 impl ParsedArgs {

@@ -13,6 +13,7 @@ pub mod serve;
 pub mod simulate;
 pub mod stats;
 pub mod tenant;
+pub mod trace;
 
 use crate::args::ParsedArgs;
 use graphex_core::{GraphExModel, LeafId};

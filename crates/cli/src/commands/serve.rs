@@ -19,7 +19,7 @@ use graphex_serving::{
     FleetConfig, KvStore, ModelRegistry, ModelWatch, OverlayStore, ServingApi, SwapPolicy,
     TenantFleet, DEFAULT_OVERLAY_CAP_BYTES,
 };
-use graphex_server::{HttpClient, ServerConfig};
+use graphex_server::{HttpClient, ServerConfig, TraceConfig};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
@@ -166,6 +166,19 @@ fn serve_fleet(
 
 fn config_from(args: &ParsedArgs) -> Result<ServerConfig, String> {
     let deadline_ms = args.get_num::<u64>("deadline-ms", 2000)?;
+    let trace_defaults = TraceConfig::default();
+    let trace = TraceConfig {
+        enabled: !args.switch("no-trace"),
+        ring: args.get_num::<usize>("trace-ring", trace_defaults.ring)?.max(1),
+        slow_ring: trace_defaults.slow_ring,
+        slow_threshold: Duration::from_millis(
+            args.get_num::<u64>(
+                "trace-slow-ms",
+                trace_defaults.slow_threshold.as_millis() as u64,
+            )?
+            .max(1),
+        ),
+    };
     Ok(ServerConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
         workers: args.get_num::<usize>("workers", 4)?.max(1),
@@ -173,6 +186,7 @@ fn config_from(args: &ParsedArgs) -> Result<ServerConfig, String> {
         max_body_bytes: args.get_num::<usize>("max-body", 1 << 20)?,
         deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
         keep_alive_timeout: Duration::from_secs(5),
+        trace,
     })
 }
 
@@ -223,11 +237,17 @@ fn smoke_probes(addr: std::net::SocketAddr, out: &mut String) -> Result<(), Stri
         .post_json("/v1/infer", r#"{"title":"acme widget model3","leaf":1,"k":5,"id":42}"#)
         .map_err(io)?;
     expect(out, "POST /v1/infer (single)", single.status, 200)?;
+    if single.header("x-graphex-trace").is_none() {
+        return Err("infer response missing x-graphex-trace header".into());
+    }
     let body = graphex_server::json::parse(&single.text())
         .map_err(|e| format!("infer response is not JSON: {e}"))?;
     match body.get("keyphrases").and_then(|k| k.as_arr()) {
         Some(keyphrases) if !keyphrases.is_empty() => {}
         _ => return Err(format!("infer returned no keyphrases: {}", single.text())),
+    }
+    if body.get("trace_id").and_then(|v| v.as_str()).is_none() {
+        return Err(format!("infer response missing trace_id: {}", single.text()));
     }
 
     let batch = client
@@ -246,6 +266,37 @@ fn smoke_probes(addr: std::net::SocketAddr, out: &mut String) -> Result<(), Stri
         if stats.get(key).and_then(|v| v.as_u64()).is_none() {
             return Err(format!("statusz missing {key:?}: {}", status.text()));
         }
+    }
+    for key in ["latency", "trace"] {
+        if stats.get(key).is_none() {
+            return Err(format!("statusz missing {key:?} block: {}", status.text()));
+        }
+    }
+    let recorded = stats
+        .get("trace")
+        .and_then(|t| t.get("recorded"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    if recorded == 0 {
+        return Err(format!("statusz trace block recorded nothing: {}", status.text()));
+    }
+
+    // The flight recorder: the traced requests above must be retrievable.
+    let traces = client.get("/debug/traces").map_err(io)?;
+    expect(out, "GET /debug/traces", traces.status, 200)?;
+    let recorder = graphex_server::json::parse(&traces.text())
+        .map_err(|e| format!("debug/traces is not JSON: {e}"))?;
+    match recorder.get("traces").and_then(|t| t.as_arr()) {
+        Some(records) if !records.is_empty() => {
+            for record in records {
+                if record.get("id").and_then(|v| v.as_str()).is_none()
+                    || record.get("spans").and_then(|s| s.as_arr()).is_none()
+                {
+                    return Err(format!("malformed trace record: {}", record.render()));
+                }
+            }
+        }
+        _ => return Err(format!("debug/traces holds no records: {}", traces.text())),
     }
 
     // The NRT write path: upsert a brand-new leaf, serve it on the very
@@ -282,6 +333,9 @@ fn smoke_probes(addr: std::net::SocketAddr, out: &mut String) -> Result<(), Stri
     }
     if !metrics.text().contains("graphex_overlay_depth") {
         return Err("metrics missing graphex_overlay_depth".into());
+    }
+    if !metrics.text().contains("graphex_stage_latency_seconds") {
+        return Err("metrics missing graphex_stage_latency_seconds".into());
     }
 
     // Malformed traffic must map to 4xx, not a hang or panic. Each probe

@@ -119,6 +119,29 @@ fn server_stats(addr: &str) -> Result<String, String> {
         num("deadline_exceeded"),
         num("queue_depth")
     );
+    if let Some(latency) = stats.get("latency") {
+        let q = |key: &str| latency.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "latency: {} inferences  p50 {:.0}µs  p90 {:.0}µs  p99 {:.0}µs",
+            latency.get("count").and_then(|v| v.as_u64()).unwrap_or(0),
+            q("p50_us"),
+            q("p90_us"),
+            q("p99_us"),
+        );
+    }
+    if let Some(trace) = stats.get("trace") {
+        if trace.get("enabled").and_then(|v| v.as_bool()) == Some(true) {
+            let tn = |key: &str| trace.get(key).and_then(|v| v.as_u64()).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "tracing: recorded {}  slow {} (threshold {}µs)  — `graphex trace --server {addr}`",
+                tn("recorded"),
+                tn("slow"),
+                tn("slow_threshold_us"),
+            );
+        }
+    }
     let _ = writeln!(
         out,
         "serving: store hits {}  read-throughs {}  coalesced {}  direct {}  unservable {}  invalidated {}",

@@ -38,6 +38,7 @@ pub fn usage() -> &'static str {
                    [--deadline-ms N] [--max-body BYTES] [--poll-ms N]
                    [--invalidate-on-swap] [--smoke]
                    [--overlay [--overlay-cap-bytes N]]
+                   [--no-trace] [--trace-ring N] [--trace-slow-ms N]
   graphex overlay  status  --server <host:port> [--name <tenant>]
   graphex overlay  apply   --server <host:port> --input <records.tsv[,more…]>
                            [--name <tenant>] [--batch N]
@@ -53,6 +54,7 @@ pub fn usage() -> &'static str {
   graphex route    (--map <file> | --backends <addr,addr,…>)
                    [--addr host:port] [--workers N] [--queue N]
                    [--backend-timeout-ms N] [--retries N] [--eject-after N]
+  graphex trace    --server <host:port> [--slow] [--limit N] [--min-us N]
   graphex cluster  up    --root <cluster dir> [--addr host:port] [--k N]
                          [--workers N] [--poll-ms N]
   graphex cluster  smoke [--shards N] [--clients N] [--seed N]
@@ -91,6 +93,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "stats" => commands::stats::run(&parsed),
         "serve" => commands::serve::run(&parsed),
         "route" => commands::route::run(&parsed),
+        "trace" => commands::trace::run(&parsed),
         "diff" => commands::diff::run(&parsed),
         "help" | "--help" | "-h" => Ok(format!("{}\n", usage())),
         other => Err(format!("unknown command {other:?}")),

@@ -91,6 +91,9 @@ pub struct Scratch {
     group_sizes: Vec<u32>,
     /// Candidate predictions being assembled.
     candidates: Vec<Prediction>,
+    /// Pooled span buffer: armed per request when tracing is on, disabled
+    /// (one branch per stage hook) otherwise.
+    pub(crate) trace: crate::trace::StageTrace,
 }
 
 impl Scratch {
@@ -155,6 +158,7 @@ pub(crate) fn infer_on_graph(
     scratch.ensure_labels(graph.num_labels() as usize);
     scratch.next_generation();
     let generation = scratch.generation;
+    let traversal_start = scratch.trace.clock();
 
     // --- Enumeration (Algorithm 1 lines 3–6, count-array variant) ---
     for &tok in &scratch.title_tokens {
@@ -173,6 +177,7 @@ pub(crate) fn infer_on_graph(
     }
 
     if scratch.touched.is_empty() {
+        scratch.trace.record(crate::trace::Stage::Traversal, traversal_start);
         return Vec::new();
     }
     let title_len = scratch.title_tokens.len() as u32;
@@ -203,13 +208,17 @@ pub(crate) fn infer_on_graph(
     }
 
     // --- Ranking (Sec. III-E2) ---
+    scratch.trace.record(crate::trace::Stage::Traversal, traversal_start);
+    let ranking_start = scratch.trace.clock();
     sort_predictions(&mut scratch.candidates, alignment, title_len);
     let take = if params.keep_threshold_group {
         scratch.candidates.len()
     } else {
         params.k.min(scratch.candidates.len())
     };
-    scratch.candidates[..take].to_vec()
+    let out = scratch.candidates[..take].to_vec();
+    scratch.trace.record(crate::trace::Stage::Ranking, ranking_start);
+    out
 }
 
 #[cfg(test)]

@@ -82,6 +82,7 @@ pub mod ranking;
 pub mod serialize;
 pub mod service;
 pub mod storage;
+pub mod trace;
 pub mod types;
 
 pub use alignment::Alignment;
@@ -97,4 +98,5 @@ pub use service::{
     Engine, InferRequest, InferResponse, KeyphraseService, Outcome, OutcomeCounts, ScratchPool,
     Session,
 };
+pub use trace::{SpanRec, Stage, StageTrace};
 pub use types::{KeyphraseId, KeyphraseRecord, LeafId};

@@ -371,6 +371,18 @@ impl Engine {
         self.session().infer_with_overlay(request, overlay)
     }
 
+    /// [`Engine::infer_with_overlay`] with stage spans recorded into
+    /// `trace` (traversal/ranking split, overlay consult attribution).
+    /// With a disabled trace this is the plain untraced path.
+    pub fn infer_traced(
+        &self,
+        request: &InferRequest<'_>,
+        overlay: Option<&crate::overlay::OverlayView>,
+        trace: &mut crate::trace::StageTrace,
+    ) -> InferResponse {
+        self.session().infer_traced(request, overlay, trace)
+    }
+
     /// Answers every request, in order, using up to `threads` workers
     /// (`0` = all cores). Each request carries its own `k`/alignment; each
     /// worker checks one scratch out of the engine's pool, so repeated
@@ -425,6 +437,46 @@ impl Session<'_> {
             }
         }
         self.engine.model.infer_request(request, scratch)
+    }
+
+    /// [`Session::infer_with_overlay`] recording stage spans into `trace`.
+    ///
+    /// The caller's trace is swapped into the pooled scratch for the call,
+    /// so the inference internals record into it without any extra
+    /// plumbing, then swapped back out — zero allocation either way. An
+    /// overlay consult that answers the request is reported as a single
+    /// [`crate::trace::Stage::OverlayConsult`] span (detail = leaf id);
+    /// the mini graph's nested traversal/ranking spans are suppressed so
+    /// top-level spans never overlap.
+    pub fn infer_traced(
+        &mut self,
+        request: &InferRequest<'_>,
+        overlay: Option<&crate::overlay::OverlayView>,
+        trace: &mut crate::trace::StageTrace,
+    ) -> InferResponse {
+        let scratch = self.scratch.as_mut().expect("scratch present until drop");
+        std::mem::swap(&mut scratch.trace, trace);
+        let mut answered = None;
+        if let Some(view) = overlay {
+            let start = scratch.trace.clock();
+            let saved = scratch.trace.suspend();
+            let consulted = view.infer_request(request, scratch);
+            scratch.trace.resume(saved);
+            if consulted.is_some() {
+                scratch.trace.record_detail(
+                    crate::trace::Stage::OverlayConsult,
+                    start,
+                    u64::from(request.leaf.0),
+                );
+                answered = consulted;
+            }
+        }
+        let response = match answered {
+            Some(response) => response,
+            None => self.engine.model.infer_request(request, scratch),
+        };
+        std::mem::swap(&mut scratch.trace, trace);
+        response
     }
 
     /// The engine this session belongs to.

@@ -79,12 +79,23 @@ impl HttpClient {
 
     /// `GET path`.
     pub fn get(&mut self, path: &str) -> std::io::Result<Response> {
-        self.request("GET", path, None)
+        self.request("GET", path, None, &[])
     }
 
     /// `POST path` with a JSON body.
     pub fn post_json(&mut self, path: &str, body: &str) -> std::io::Result<Response> {
-        self.request("POST", path, Some(body.as_bytes()))
+        self.request("POST", path, Some(body.as_bytes()), &[])
+    }
+
+    /// [`post_json`](Self::post_json) with extra request headers — how
+    /// the router forwards `x-graphex-trace` to its backends.
+    pub fn post_json_with_headers(
+        &mut self,
+        path: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<Response> {
+        self.request("POST", path, Some(body.as_bytes()), headers)
     }
 
     fn request(
@@ -92,8 +103,12 @@ impl HttpClient {
         method: &str,
         path: &str,
         body: Option<&[u8]>,
+        headers: &[(&str, &str)],
     ) -> std::io::Result<Response> {
         let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n", self.host);
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
         if let Some(body) = body {
             head.push_str("Content-Type: application/json\r\n");
             head.push_str(&format!("Content-Length: {}\r\n", body.len()));

@@ -63,6 +63,7 @@ pub mod queue;
 pub mod router;
 pub mod server;
 pub mod shardmap;
+pub mod trace;
 
 pub use chaos::{ChaosBackend, ChaosMode};
 pub use client::{HttpClient, Response};
@@ -74,3 +75,6 @@ pub use router::{
 };
 pub use server::{start, start_fleet, Backend, ServerConfig, ServerHandle, MAX_BATCH};
 pub use shardmap::ShardMap;
+pub use trace::{
+    parse_trace_id, BackendTrace, OwnedSpan, TraceConfig, TraceRecord, TraceRecorder, TRACE_HEADER,
+};

@@ -41,18 +41,61 @@ impl LatencyHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Estimates the `q`-quantile (0..=1) in seconds by linear
+    /// interpolation inside the bucket the target rank falls in — the
+    /// same estimate Prometheus' `histogram_quantile` computes. Returns 0
+    /// for an empty histogram; observations past the last bound clamp to
+    /// it (the estimate cannot exceed the largest finite bucket bound).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let in_bucket = bucket.load(Ordering::Relaxed);
+            let before = cumulative;
+            cumulative += in_bucket;
+            if cumulative >= target {
+                let lower = if i == 0 { 0.0 } else { BUCKET_BOUNDS[i - 1] };
+                let upper = BUCKET_BOUNDS.get(i).copied().unwrap_or(BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1]);
+                if in_bucket == 0 || upper <= lower {
+                    return upper;
+                }
+                let frac = (target - before) as f64 / in_bucket as f64;
+                return lower + (upper - lower) * frac;
+            }
+        }
+        BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1]
+    }
+
     fn render(&self, name: &str, out: &mut String) {
         let _ = writeln!(out, "# TYPE {name} histogram");
+        self.render_series(name, "", out);
+    }
+
+    /// Renders this histogram's `_bucket`/`_sum`/`_count` series with
+    /// `labels` spliced into every brace set (empty for an unlabeled
+    /// family) — no `# TYPE` header, so several labeled histograms can
+    /// share one family (e.g. `graphex_stage_latency_seconds{stage=...}`).
+    pub fn render_series(&self, name: &str, labels: &str, out: &mut String) {
+        let sep = if labels.is_empty() { "" } else { "," };
         let mut cumulative = 0u64;
         for (i, bound) in BUCKET_BOUNDS.iter().enumerate() {
             cumulative += self.buckets[i].load(Ordering::Relaxed);
-            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            let _ = writeln!(out, "{name}_bucket{{{labels}{sep}le=\"{bound}\"}} {cumulative}");
         }
         cumulative += self.buckets[BUCKET_BOUNDS.len()].load(Ordering::Relaxed);
-        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {cumulative}");
         let sum = self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9;
-        let _ = writeln!(out, "{name}_sum {sum}");
-        let _ = writeln!(out, "{name}_count {}", self.count.load(Ordering::Relaxed));
+        if labels.is_empty() {
+            let _ = writeln!(out, "{name}_sum {sum}");
+            let _ = writeln!(out, "{name}_count {}", self.count.load(Ordering::Relaxed));
+        } else {
+            let _ = writeln!(out, "{name}_sum{{{labels}}} {sum}");
+            let _ = writeln!(out, "{name}_count{{{labels}}} {}", self.count.load(Ordering::Relaxed));
+        }
     }
 }
 
@@ -68,6 +111,8 @@ pub enum Endpoint {
     Healthz,
     Statusz,
     Metrics,
+    /// `GET /debug/traces`: the flight-recorder dump.
+    Traces,
     /// Unknown paths/methods (404/405/parse errors).
     Other,
 }
@@ -81,6 +126,7 @@ impl Endpoint {
             Endpoint::Healthz => "healthz",
             Endpoint::Statusz => "statusz",
             Endpoint::Metrics => "metrics",
+            Endpoint::Traces => "traces",
             Endpoint::Other => "other",
         }
     }
@@ -388,6 +434,34 @@ mod tests {
         assert!(out.contains("x_bucket{le=\"+Inf\"} 3"), "{out}");
         assert!(out.contains("x_count 3"), "{out}");
         assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn quantile_interpolates_and_clamps() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), 0.0); // empty
+        for _ in 0..100 {
+            h.record(Duration::from_micros(50)); // first bucket: (0, 0.0001]
+        }
+        let p50 = h.quantile(0.5);
+        assert!(p50 > 0.0 && p50 <= 0.0001, "{p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 > p50 && p99 <= 0.0001, "{p99}");
+        h.record(Duration::from_secs(5)); // lands in +Inf
+        assert!(h.quantile(1.0) <= 1.0); // clamps to the last finite bound
+    }
+
+    #[test]
+    fn labeled_series_share_one_type_header() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(50));
+        let mut out = String::new();
+        out.push_str("# TYPE stage_seconds histogram\n");
+        h.render_series("stage_seconds", "stage=\"parse\"", &mut out);
+        h.render_series("stage_seconds", "stage=\"ranking\"", &mut out);
+        assert_eq!(out.matches("# TYPE").count(), 1);
+        assert!(out.contains("stage_seconds_bucket{stage=\"parse\",le=\"0.0001\"} 1"), "{out}");
+        assert!(out.contains("stage_seconds_count{stage=\"ranking\"} 1"), "{out}");
     }
 
     #[test]

@@ -43,8 +43,13 @@ use crate::http::{self, ReadError, Request};
 use crate::json::{self, Json};
 use crate::metrics::{Endpoint, HttpMetrics};
 use crate::queue::Bounded;
-use crate::server::{decode_one, MAX_BATCH, MAX_KEEPALIVE_REQUESTS};
+use crate::server::{decode_one, latency_json, MAX_BATCH, MAX_KEEPALIVE_REQUESTS};
 use crate::shardmap::ShardMap;
+use crate::trace::{
+    backend_trace_from_json, parse_trace_id, trace_json_inline, BackendTrace, TraceConfig,
+    TraceRecorder, TRACE_HEADER,
+};
+use graphex_core::{Stage, StageTrace};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -88,6 +93,10 @@ pub struct RouterConfig {
     /// Cap on a backend response body's declared `Content-Length`; a
     /// larger declaration is a backend failure, not an allocation.
     pub max_response_bytes: usize,
+    /// Request tracing (stage spans, `/debug/traces`, slow ring). The
+    /// router's traces embed per-backend breakdowns parsed from the
+    /// sub-responses.
+    pub trace: TraceConfig,
 }
 
 impl Default for RouterConfig {
@@ -104,6 +113,7 @@ impl Default for RouterConfig {
             backoff_initial: Duration::from_millis(200),
             backoff_max: Duration::from_secs(5),
             max_response_bytes: 8 << 20,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -132,6 +142,13 @@ struct Backend {
     readmissions: AtomicU64,
     /// Calls refused locally because the backend was ejected.
     fast_failures: AtomicU64,
+    /// Most recent failure message (sticky — survives recovery so
+    /// `/statusz` can explain *why* the last ejection happened).
+    last_error: Mutex<String>,
+    /// Monotone tick of the most recent half-open probe (0 = never
+    /// probed). Ticks come from the router-wide probe counter, so rows
+    /// order probes across backends.
+    last_probe_tick: AtomicU64,
 }
 
 impl Backend {
@@ -146,7 +163,19 @@ impl Backend {
             ejections: AtomicU64::new(0),
             readmissions: AtomicU64::new(0),
             fast_failures: AtomicU64::new(0),
+            last_error: Mutex::new(String::new()),
+            last_probe_tick: AtomicU64::new(0),
         }
+    }
+
+    fn note_error(&self, message: &str) {
+        let mut last = self.last_error.lock().unwrap_or_else(PoisonError::into_inner);
+        last.clear();
+        last.push_str(message);
+    }
+
+    fn last_error_snapshot(&self) -> String {
+        self.last_error.lock().unwrap_or_else(PoisonError::into_inner).clone()
     }
 
     fn lock_health(&self) -> std::sync::MutexGuard<'_, Health> {
@@ -158,7 +187,7 @@ impl Backend {
     /// backoff has expired, the *calling thread* runs the half-open
     /// probe — and pessimistically re-ejects first, so concurrent
     /// callers fail fast instead of queueing behind the probe.
-    fn admit(&self, config: &RouterConfig) -> Result<(), String> {
+    fn admit(&self, config: &RouterConfig, probe_ticks: &AtomicU64) -> Result<(), String> {
         let probe_backoff = {
             let mut health = self.lock_health();
             match &*health {
@@ -177,6 +206,7 @@ impl Backend {
             }
         };
         // Half-open probe, outside the lock.
+        self.last_probe_tick.store(probe_ticks.fetch_add(1, Ordering::Relaxed) + 1, Ordering::Relaxed);
         let probe = HttpClient::connect_with_timeouts(
             &self.addr,
             config.backend_timeout,
@@ -192,10 +222,12 @@ impl Backend {
             _ => {
                 self.ejections.fetch_add(1, Ordering::Relaxed);
                 self.fast_failures.fetch_add(1, Ordering::Relaxed);
-                Err(format!(
+                let reason = format!(
                     "backend {} still unhealthy (probe failed, backing off {probe_backoff:?})",
                     self.addr
-                ))
+                );
+                self.note_error(&reason);
+                Err(reason)
             }
         }
     }
@@ -257,6 +289,11 @@ struct Inner {
     fanout: AtomicU64,
     /// Individual request entries answered with degradation.
     degraded: AtomicU64,
+    /// Trace recorder (None when tracing is disabled).
+    traces: Option<Arc<TraceRecorder>>,
+    /// Router-wide half-open probe counter; feeds each backend's
+    /// `last_probe_tick`.
+    probe_ticks: AtomicU64,
 }
 
 struct Conn {
@@ -277,6 +314,7 @@ pub fn start_router(config: RouterConfig, map: ShardMap) -> std::io::Result<Rout
     let addr = listener.local_addr()?;
     let workers = config.workers.max(1);
     let backends = map.backends().iter().map(|a| Backend::new(a.clone())).collect();
+    let traces = config.trace.enabled.then(|| Arc::new(TraceRecorder::new(config.trace.clone())));
     let inner = Arc::new(Inner {
         map,
         backends,
@@ -286,6 +324,8 @@ pub fn start_router(config: RouterConfig, map: ShardMap) -> std::io::Result<Rout
         requests_in: AtomicU64::new(0),
         fanout: AtomicU64::new(0),
         degraded: AtomicU64::new(0),
+        traces,
+        probe_ticks: AtomicU64::new(0),
         config,
     });
 
@@ -326,6 +366,11 @@ impl RouterHandle {
     /// Request entries answered with router-level degradation so far.
     pub fn degraded(&self) -> u64 {
         self.inner.degraded.load(Ordering::Relaxed)
+    }
+
+    /// The trace recorder, when tracing is enabled.
+    pub fn traces(&self) -> Option<&Arc<TraceRecorder>> {
+        self.inner.traces.as_ref()
     }
 
     /// Graceful shutdown: stop accepting, drain admitted connections,
@@ -440,17 +485,19 @@ fn handle_connection(stream: TcpStream, inner: &Inner) {
         let keep_alive = request.keep_alive()
             && !inner.shutdown.load(Ordering::SeqCst)
             && requests_served < MAX_KEEPALIVE_REQUESTS;
-        let (endpoint, status, content_type, body) = route(&request, inner);
+        let routed = route(&request, started, inner);
+        let extra: Vec<(&str, &str)> =
+            routed.extra_headers.iter().map(|(k, v)| (*k, v.as_str())).collect();
         let written = http::write_response(
             &mut write_half,
-            status,
-            content_type,
-            body.as_bytes(),
+            routed.status,
+            routed.content_type,
+            routed.body.as_bytes(),
             keep_alive,
-            &[],
+            &extra,
         );
-        inner.metrics.record_response(endpoint, status);
-        if endpoint == Endpoint::Infer {
+        inner.metrics.record_response(routed.endpoint, routed.status);
+        if routed.endpoint == Endpoint::Infer {
             inner.metrics.infer_latency.record(started.elapsed());
         }
         if written.is_err() || !keep_alive {
@@ -459,29 +506,56 @@ fn handle_connection(stream: TcpStream, inner: &Inner) {
     }
 }
 
-type RoutedResponse = (Endpoint, u16, &'static str, String);
+struct RoutedResponse {
+    endpoint: Endpoint,
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    extra_headers: Vec<(&'static str, String)>,
+}
+
+impl RoutedResponse {
+    fn new(endpoint: Endpoint, status: u16, content_type: &'static str, body: String) -> Self {
+        Self { endpoint, status, content_type, body, extra_headers: Vec::new() }
+    }
+}
 
 fn error_response(endpoint: Endpoint, status: u16, message: impl Into<String>) -> RoutedResponse {
     let body = Json::obj(vec![("error", Json::str(message.into()))]).render();
-    (endpoint, status, "application/json", body)
+    RoutedResponse::new(endpoint, status, "application/json", body)
 }
 
-fn route(request: &Request, inner: &Inner) -> RoutedResponse {
+fn route(request: &Request, started: Instant, inner: &Inner) -> RoutedResponse {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => {
-            (Endpoint::Healthz, 200, "text/plain; charset=utf-8", "ok\n".into())
-        }
-        ("GET", "/statusz") => {
-            (Endpoint::Statusz, 200, "application/json", statusz(inner).render())
-        }
-        ("GET", "/metrics") => (
+        ("GET", "/healthz") => RoutedResponse::new(
+            Endpoint::Healthz,
+            200,
+            "text/plain; charset=utf-8",
+            "ok\n".into(),
+        ),
+        ("GET", "/statusz") => RoutedResponse::new(
+            Endpoint::Statusz,
+            200,
+            "application/json",
+            statusz(inner).render(),
+        ),
+        ("GET", "/metrics") => RoutedResponse::new(
             Endpoint::Metrics,
             200,
             "text/plain; version=0.0.4; charset=utf-8",
             render_metrics(inner),
         ),
-        ("POST", "/v1/infer") => infer(request, inner),
-        (_, "/healthz" | "/statusz" | "/metrics" | "/v1/infer") => {
+        ("GET", "/debug/traces") => match &inner.traces {
+            Some(recorder) => RoutedResponse::new(
+                Endpoint::Traces,
+                200,
+                "application/json",
+                recorder.render_debug(request.query.as_deref()),
+            ),
+            None => error_response(Endpoint::Traces, 404, "tracing is disabled"),
+        },
+        ("POST", "/v1/infer") => infer(request, started, inner),
+        (_, "/healthz" | "/statusz" | "/metrics" | "/debug/traces" | "/v1/infer") => {
             error_response(Endpoint::Other, 405, "method not allowed")
         }
         _ => error_response(Endpoint::Other, 404, format!("no route for {}", request.path)),
@@ -507,15 +581,21 @@ fn statusz(inner: &Inner) -> Json {
                 ("ejections", Json::uint(b.ejections.load(Ordering::Relaxed))),
                 ("readmissions", Json::uint(b.readmissions.load(Ordering::Relaxed))),
                 ("fast_failures", Json::uint(b.fast_failures.load(Ordering::Relaxed))),
+                ("last_error", Json::str(b.last_error_snapshot())),
+                ("last_probe_tick", Json::uint(b.last_probe_tick.load(Ordering::Relaxed))),
             ])
         })
         .collect();
+    let trace_block =
+        inner.traces.as_ref().map_or(Json::Null, |recorder| recorder.statusz_json());
     Json::obj(vec![
         ("role", Json::str("router")),
         ("shards", Json::uint(u64::from(inner.map.shards()))),
         ("requests_in", Json::uint(inner.requests_in.load(Ordering::Relaxed))),
         ("fanout_subrequests", Json::uint(inner.fanout.load(Ordering::Relaxed))),
         ("degraded", Json::uint(inner.degraded.load(Ordering::Relaxed))),
+        ("latency", latency_json(&inner.metrics)),
+        ("trace", trace_block),
         ("queue_depth", Json::uint(inner.queue.len() as u64)),
         ("backends", Json::Arr(backends)),
     ])
@@ -562,25 +642,56 @@ fn render_metrics(inner: &Inner) -> String {
             u8::from(healthy)
         );
     }
+    if let Some(recorder) = &inner.traces {
+        recorder.render_metrics(&mut out);
+    }
     out
 }
 
 /// What one scattered sub-batch resolved to.
 enum SubResult {
     /// Per-entry response objects, in sub-batch order, plus the
-    /// backend's envelope snapshot version.
-    Ok(Vec<Json>, u64),
+    /// backend's envelope snapshot version and the backend's embedded
+    /// trace object (present when the router propagated a trace id).
+    Ok(Vec<Json>, u64, Option<Json>),
     /// The whole sub-batch degrades with this reason.
     Degraded(String),
 }
 
-fn infer(request: &Request, inner: &Inner) -> RoutedResponse {
+/// Trace bracket around [`infer_inner`]: checks a span buffer out of the
+/// recorder, runs the request, finishes the record (with per-backend
+/// breakdowns) and echoes the trace id back to the client.
+fn infer(request: &Request, started: Instant, inner: &Inner) -> RoutedResponse {
+    let Some(recorder) = &inner.traces else {
+        return infer_inner(request, started, inner, &mut StageTrace::disabled(), 0, false).0;
+    };
+    let header_id = request.header(TRACE_HEADER).and_then(parse_trace_id);
+    let propagated = header_id.is_some();
+    let (mut trace, id) = recorder.begin(started, header_id);
+    let (mut routed, entries, backends) =
+        infer_inner(request, started, inner, &mut trace, id, propagated);
+    recorder.finish(trace, id, None, routed.status, entries, started.elapsed(), backends);
+    routed.extra_headers.push((TRACE_HEADER, format!("{id:016x}")));
+    routed
+}
+
+fn infer_inner(
+    request: &Request,
+    started: Instant,
+    inner: &Inner,
+    trace: &mut StageTrace,
+    trace_id: u64,
+    embed: bool,
+) -> (RoutedResponse, usize, Vec<BackendTrace>) {
+    let parse_start = trace.clock();
     let Ok(text) = std::str::from_utf8(&request.body) else {
-        return error_response(Endpoint::Infer, 400, "body is not valid UTF-8");
+        return (error_response(Endpoint::Infer, 400, "body is not valid UTF-8"), 0, Vec::new());
     };
     let envelope = match json::parse(text) {
         Ok(value) => value,
-        Err(e) => return error_response(Endpoint::Infer, 400, format!("invalid JSON: {e}")),
+        Err(e) => {
+            return (error_response(Endpoint::Infer, 400, format!("invalid JSON: {e}")), 0, Vec::new())
+        }
     };
     inner.requests_in.fetch_add(1, Ordering::Relaxed);
 
@@ -591,15 +702,25 @@ fn infer(request: &Request, inner: &Inner) -> RoutedResponse {
         None => (vec![&envelope], false),
         Some(Json::Arr(list)) => {
             if list.len() > MAX_BATCH {
-                return error_response(
-                    Endpoint::Infer,
-                    400,
-                    format!("batch of {} exceeds cap of {MAX_BATCH}", list.len()),
+                return (
+                    error_response(
+                        Endpoint::Infer,
+                        400,
+                        format!("batch of {} exceeds cap of {MAX_BATCH}", list.len()),
+                    ),
+                    0,
+                    Vec::new(),
                 );
             }
             (list.iter().collect(), true)
         }
-        Some(_) => return error_response(Endpoint::Infer, 400, "\"requests\" must be an array"),
+        Some(_) => {
+            return (
+                error_response(Endpoint::Infer, 400, "\"requests\" must be an array"),
+                0,
+                Vec::new(),
+            )
+        }
     };
     let mut decoded = Vec::with_capacity(entries.len());
     for (i, entry) in entries.iter().enumerate() {
@@ -608,10 +729,11 @@ fn infer(request: &Request, inner: &Inner) -> RoutedResponse {
             Err(message) => {
                 let message =
                     if batch { format!("requests[{i}]: {message}") } else { message };
-                return error_response(Endpoint::Infer, 400, message);
+                return (error_response(Endpoint::Infer, 400, message), 0, Vec::new());
             }
         }
     }
+    trace.record(Stage::Parse, parse_start);
 
     // Scatter: group entry indices by owning shard, preserving order.
     let shards = inner.map.shards() as usize;
@@ -623,6 +745,10 @@ fn infer(request: &Request, inner: &Inner) -> RoutedResponse {
 
     let mut results: Vec<Option<SubResult>> = Vec::new();
     results.resize_with(shards, || None);
+    // The forwarded trace id, as the backends will see it. The header
+    // rides on every sub-request so backend records correlate with the
+    // router record, and backends answer with an embedded breakdown.
+    let forwarded_id = trace.is_enabled().then(|| format!("{trace_id:016x}"));
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(involved.len());
         for &shard in &involved {
@@ -634,27 +760,53 @@ fn infer(request: &Request, inner: &Inner) -> RoutedResponse {
             let backend = &inner.backends[shard];
             let expected = groups[shard].len();
             let config = &inner.config;
+            let probe_ticks = &inner.probe_ticks;
+            let trace_header = forwarded_id.as_deref();
             inner.fanout.fetch_add(1, Ordering::Relaxed);
+            // The span clock starts at the caller's dispatch point and
+            // stops when the join returns, so a Fanout span covers the
+            // whole window the router held this request open for the
+            // shard — spawn and scheduling latency included, not just
+            // the wire time the dispatcher thread itself observed.
+            let dispatched = Instant::now();
             handles.push((
                 shard,
-                scope.spawn(move || dispatch(backend, config, &body, expected)),
+                dispatched,
+                scope.spawn(move || {
+                    dispatch(backend, config, probe_ticks, &body, expected, trace_header)
+                }),
             ));
         }
-        for (shard, handle) in handles {
-            results[shard] = Some(handle.join().unwrap_or_else(|_| {
-                SubResult::Degraded("router dispatch panicked".into())
-            }));
+        for (shard, dispatched, handle) in handles {
+            results[shard] = Some(match handle.join() {
+                Ok(sub) => {
+                    // One Fanout span per involved shard (detail = shard
+                    // index), recorded post-join: StageTrace is owned by
+                    // this thread, never shared with the dispatchers.
+                    trace.record_span(Stage::Fanout, dispatched, dispatched.elapsed(), shard as u64);
+                    sub
+                }
+                Err(_) => SubResult::Degraded("router dispatch panicked".into()),
+            });
         }
     });
 
     // Gather: merge per-entry responses back into the caller's order.
     let mut merged: Vec<Option<Json>> = vec![None; decoded.len()];
     let mut snapshot_version = 0u64;
+    let mut backend_traces: Vec<BackendTrace> = Vec::new();
     for shard in involved {
         let result = results[shard].take().expect("scattered shard has a result");
         match result {
-            SubResult::Ok(responses, version) => {
+            SubResult::Ok(responses, version, sub_trace) => {
                 snapshot_version = snapshot_version.max(version);
+                if let Some(sub_trace) = &sub_trace {
+                    if let Some(parsed) =
+                        backend_trace_from_json(shard, &inner.backends[shard].addr, sub_trace)
+                    {
+                        backend_traces.push(parsed);
+                    }
+                }
                 for (&i, response) in groups[shard].iter().zip(responses) {
                     merged[i] = Some(response);
                 }
@@ -672,7 +824,8 @@ fn infer(request: &Request, inner: &Inner) -> RoutedResponse {
         .map(|r| r.expect("every entry was grouped onto exactly one shard"))
         .collect();
 
-    let body = if batch {
+    let serialize_start = trace.clock();
+    let mut body = if batch {
         Json::obj(vec![
             ("responses", Json::Arr(merged)),
             ("snapshot_version", Json::uint(snapshot_version)),
@@ -680,7 +833,22 @@ fn infer(request: &Request, inner: &Inner) -> RoutedResponse {
     } else {
         merged.into_iter().next().expect("single request decoded")
     };
-    (Endpoint::Infer, 200, "application/json", body.render())
+    if trace.is_enabled() {
+        if let Json::Obj(members) = &mut body {
+            members.push(("trace_id".into(), Json::str(format!("{trace_id:016x}"))));
+            if embed {
+                members
+                    .push(("trace".into(), trace_json_inline(trace, trace_id, started.elapsed())));
+            }
+        }
+    }
+    let rendered = body.render();
+    trace.record(Stage::Serialize, serialize_start);
+    (
+        RoutedResponse::new(Endpoint::Infer, 200, "application/json", rendered),
+        decoded.len(),
+        backend_traces,
+    )
 }
 
 /// The degraded per-request answer: same shape as a served response so
@@ -709,10 +877,12 @@ fn degraded_entry(id: Option<u64>, shard: usize, reason: &str) -> Json {
 fn dispatch(
     backend: &Backend,
     config: &RouterConfig,
+    probe_ticks: &AtomicU64,
     body: &str,
     expected: usize,
+    trace_header: Option<&str>,
 ) -> SubResult {
-    if let Err(reason) = backend.admit(config) {
+    if let Err(reason) = backend.admit(config, probe_ticks) {
         return SubResult::Degraded(reason);
     }
     let mut last_error = String::new();
@@ -721,13 +891,14 @@ fn dispatch(
             backend.retries.fetch_add(1, Ordering::Relaxed);
         }
         backend.calls.fetch_add(1, Ordering::Relaxed);
-        match dispatch_once(backend, config, body, expected, attempt > 0) {
-            Ok((responses, version)) => {
+        match dispatch_once(backend, config, body, expected, attempt > 0, trace_header) {
+            Ok((responses, version, sub_trace)) => {
                 backend.record_success();
-                return SubResult::Ok(responses, version);
+                return SubResult::Ok(responses, version, sub_trace);
             }
             Err(reason) => {
                 backend.record_failure(config);
+                backend.note_error(&reason);
                 last_error = reason;
                 // Ejection mid-retry-loop stops further attempts: the
                 // state machine has spoken.
@@ -751,7 +922,8 @@ fn dispatch_once(
     body: &str,
     expected: usize,
     fresh: bool,
-) -> Result<(Vec<Json>, u64), String> {
+    trace_header: Option<&str>,
+) -> Result<(Vec<Json>, u64, Option<Json>), String> {
     let mut client = match if fresh { None } else { backend.take_pooled() } {
         Some(client) => client,
         None => {
@@ -765,7 +937,11 @@ fn dispatch_once(
             client
         }
     };
-    let response = client.post_json("/v1/infer", body).map_err(|e| format!("call: {e}"))?;
+    let response = match trace_header {
+        Some(id) => client.post_json_with_headers("/v1/infer", body, &[(TRACE_HEADER, id)]),
+        None => client.post_json("/v1/infer", body),
+    }
+    .map_err(|e| format!("call: {e}"))?;
     let reusable =
         response.header("connection").map_or(true, |v| !v.eq_ignore_ascii_case("close"));
     if response.status != 200 {
@@ -787,10 +963,13 @@ fn dispatch_once(
     }
     let version = parsed.get("snapshot_version").and_then(Json::as_u64).unwrap_or(0);
     let out = responses.to_vec();
+    // The backend's embedded breakdown (present exactly when this call
+    // carried the trace header) rides back for the router's record.
+    let sub_trace = parsed.get("trace").cloned();
     if reusable {
         backend.return_pooled(client);
     }
-    Ok((out, version))
+    Ok((out, version, sub_trace))
 }
 
 #[cfg(test)]
@@ -812,28 +991,40 @@ mod tests {
         // without any network.
         let backend = Backend::new("127.0.0.1:1".into());
         let config = test_config();
-        assert!(backend.admit(&config).is_ok());
+        let ticks = AtomicU64::new(0);
+        assert!(backend.admit(&config, &ticks).is_ok());
         backend.record_failure(&config);
-        assert!(backend.admit(&config).is_ok(), "one failure is not ejection");
+        assert!(backend.admit(&config, &ticks).is_ok(), "one failure is not ejection");
         backend.record_failure(&config);
         assert!(matches!(&*backend.lock_health(), Health::Ejected { .. }));
         assert_eq!(backend.ejections.load(Ordering::Relaxed), 1);
-        assert!(backend.admit(&config).is_err(), "ejected backends fail fast");
+        assert!(backend.admit(&config, &ticks).is_err(), "ejected backends fail fast");
         assert_eq!(backend.fast_failures.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            backend.last_probe_tick.load(Ordering::Relaxed),
+            0,
+            "fast-fail admits never probe"
+        );
     }
 
     #[test]
     fn expired_backoff_probes_and_reejects_with_doubled_backoff() {
         let backend = Backend::new("127.0.0.1:1".into()); // nothing listens
         let config = test_config();
+        let ticks = AtomicU64::new(0);
         backend.record_failure(&config);
         backend.record_failure(&config);
         std::thread::sleep(config.backoff_initial + Duration::from_millis(20));
         // Backoff expired → this call runs the half-open probe, which
         // fails (dead port) → re-ejected with doubled backoff.
-        assert!(backend.admit(&config).is_err());
+        assert!(backend.admit(&config, &ticks).is_err());
         assert_eq!(backend.readmissions.load(Ordering::Relaxed), 0);
         assert_eq!(backend.ejections.load(Ordering::Relaxed), 2);
+        assert_eq!(backend.last_probe_tick.load(Ordering::Relaxed), 1, "probe consumed a tick");
+        assert!(
+            backend.last_error_snapshot().contains("probe failed"),
+            "failed probe leaves a last_error"
+        );
         match &*backend.lock_health() {
             Health::Ejected { backoff, .. } => {
                 assert_eq!(*backoff, config.backoff_initial * 2);

@@ -26,7 +26,8 @@ use crate::http::{self, ReadError, Request};
 use crate::json::{self, Json};
 use crate::metrics::{render_overlay_families, Endpoint, HttpMetrics};
 use crate::queue::Bounded;
-use graphex_core::{Alignment, InferRequest, KeyphraseRecord, LeafId};
+use crate::trace::{parse_trace_id, trace_json_inline, TraceConfig, TraceRecorder, TRACE_HEADER};
+use graphex_core::{Alignment, InferRequest, KeyphraseRecord, LeafId, Stage, StageTrace};
 use graphex_serving::{
     FleetError, OverlayError, OverlayStatus, ServeSource, Served, ServingApi, TenantFleet,
 };
@@ -68,6 +69,9 @@ pub struct ServerConfig {
     /// Idle read timeout on keep-alive connections; also bounds how long
     /// shutdown waits on an idle peer.
     pub keep_alive_timeout: Duration,
+    /// Flight-recorder knobs; `trace.enabled = false` turns the whole
+    /// trace layer off (no ids, no rings, no clock reads).
+    pub trace: TraceConfig,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +83,7 @@ impl Default for ServerConfig {
             max_body_bytes: 1 << 20,
             deadline: Some(Duration::from_secs(2)),
             keep_alive_timeout: Duration::from_secs(5),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -115,6 +120,8 @@ struct Inner {
     queue: Bounded<Conn>,
     shutdown: AtomicBool,
     config: ServerConfig,
+    /// The flight recorder; `None` when tracing is disabled.
+    traces: Option<Arc<TraceRecorder>>,
 }
 
 /// A running server; dropping it shuts down gracefully.
@@ -143,12 +150,17 @@ fn start_backend(config: ServerConfig, backend: Backend) -> std::io::Result<Serv
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let workers = config.workers.max(1);
+    let traces = config
+        .trace
+        .enabled
+        .then(|| Arc::new(TraceRecorder::new(config.trace.clone())));
     let inner = Arc::new(Inner {
         backend,
         metrics: HttpMetrics::default(),
         queue: Bounded::new(config.queue_depth),
         shutdown: AtomicBool::new(false),
         config,
+        traces,
     });
 
     let acceptor = {
@@ -196,6 +208,11 @@ impl ServerHandle {
     /// HTTP-layer metrics (what `/metrics` renders).
     pub fn metrics(&self) -> &HttpMetrics {
         &self.inner.metrics
+    }
+
+    /// The flight recorder, or `None` when tracing is disabled.
+    pub fn traces(&self) -> Option<&Arc<TraceRecorder>> {
+        self.inner.traces.as_ref()
     }
 
     /// Graceful shutdown: stop accepting, drain admitted connections,
@@ -333,7 +350,8 @@ fn handle_connection(conn: Conn, inner: &Inner) {
         // Deadline basis: read completion, back-dated by the accept-queue
         // wait for the connection's first request — so queue pressure
         // counts against the budget but client think-time never does.
-        let started = if requests_served == 0 {
+        let first_request = requests_served == 0;
+        let started = if first_request {
             Instant::now().checked_sub(queue_wait).unwrap_or_else(Instant::now)
         } else {
             Instant::now()
@@ -344,7 +362,8 @@ fn handle_connection(conn: Conn, inner: &Inner) {
         let keep_alive = request.keep_alive()
             && !draining
             && requests_served < MAX_KEEPALIVE_REQUESTS;
-        let outcome = route(&request, started, inner);
+        let charged_wait = if first_request { queue_wait } else { Duration::ZERO };
+        let outcome = route(&request, started, charged_wait, inner);
         let extra: Vec<(&str, &str)> =
             outcome.extra_headers.iter().map(|(k, v)| (*k, v.as_str())).collect();
         let written = http::write_response(
@@ -402,7 +421,7 @@ fn tenant_path(path: &str) -> Option<&str> {
     tenant_action(path, "infer")
 }
 
-fn route(request: &Request, started: Instant, inner: &Inner) -> Routed {
+fn route(request: &Request, started: Instant, queue_wait: Duration, inner: &Inner) -> Routed {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
             Routed::new(Endpoint::Healthz, 200, "text/plain; charset=utf-8", "ok\n".into())
@@ -412,22 +431,38 @@ fn route(request: &Request, started: Instant, inner: &Inner) -> Routed {
             Endpoint::Metrics,
             200,
             "text/plain; version=0.0.4; charset=utf-8",
-            match &inner.backend {
-                Backend::Single(api) => {
-                    let mut out = inner.metrics.render_prometheus(&api.stats(), inner.queue.len());
-                    if let Some(status) = api.overlay_status() {
-                        render_overlay_families(&[(String::new(), status)], &mut out);
+            {
+                let mut out = match &inner.backend {
+                    Backend::Single(api) => {
+                        let mut out =
+                            inner.metrics.render_prometheus(&api.stats(), inner.queue.len());
+                        if let Some(status) = api.overlay_status() {
+                            render_overlay_families(&[(String::new(), status)], &mut out);
+                        }
+                        out
                     }
-                    out
+                    Backend::Fleet(fleet) => {
+                        inner.metrics.render_prometheus_fleet(fleet, inner.queue.len())
+                    }
+                };
+                if let Some(recorder) = &inner.traces {
+                    recorder.render_metrics(&mut out);
                 }
-                Backend::Fleet(fleet) => {
-                    inner.metrics.render_prometheus_fleet(fleet, inner.queue.len())
-                }
+                out
             },
         ),
-        ("POST", "/v1/infer") => infer(request, started, inner, None),
+        ("GET", "/debug/traces") => match &inner.traces {
+            Some(recorder) => Routed::new(
+                Endpoint::Traces,
+                200,
+                "application/json",
+                recorder.render_debug(request.query.as_deref()),
+            ),
+            None => Routed::error(Endpoint::Traces, 404, "tracing is disabled"),
+        },
+        ("POST", "/v1/infer") => infer(request, started, queue_wait, inner, None),
         ("POST", path) if tenant_path(path).is_some() => {
-            infer(request, started, inner, tenant_path(path))
+            infer(request, started, queue_wait, inner, tenant_path(path))
         }
         ("POST", "/v1/upsert") => upsert(request, inner, None),
         ("POST", path) if tenant_action(path, "upsert").is_some() => {
@@ -441,7 +476,7 @@ fn route(request: &Request, started: Instant, inner: &Inner) -> Routed {
         ("POST", path) if tenant_action(path, "overlay/drain").is_some() => {
             overlay_drain(request, inner, tenant_action(path, "overlay/drain"))
         }
-        (_, "/healthz" | "/statusz" | "/metrics") => {
+        (_, "/healthz" | "/statusz" | "/metrics" | "/debug/traces") => {
             let mut routed = Routed::error(Endpoint::Other, 405, "method not allowed");
             routed.extra_headers.push(("Allow", "GET".into()));
             routed
@@ -476,6 +511,28 @@ fn statusz(inner: &Inner) -> Json {
     match &inner.backend {
         Backend::Single(api) => statusz_single(api, inner),
         Backend::Fleet(fleet) => statusz_fleet(fleet, inner),
+    }
+}
+
+/// The `/statusz` latency block: count plus quantile estimates from the
+/// end-to-end inference histogram (the same numbers `/metrics` exports
+/// as bucket counts). Shared with the router's `/statusz`.
+pub(crate) fn latency_json(metrics: &HttpMetrics) -> Json {
+    let h = &metrics.infer_latency;
+    Json::obj(vec![
+        ("count", Json::uint(h.count())),
+        ("p50_us", Json::num(h.quantile(0.50) * 1e6)),
+        ("p90_us", Json::num(h.quantile(0.90) * 1e6)),
+        ("p99_us", Json::num(h.quantile(0.99) * 1e6)),
+    ])
+}
+
+/// The `/statusz` trace block ([`TraceRecorder::statusz_json`]), or
+/// `null` when tracing is disabled.
+fn trace_block(inner: &Inner) -> Json {
+    match &inner.traces {
+        Some(recorder) => recorder.statusz_json(),
+        None => Json::Null,
     }
 }
 
@@ -528,6 +585,8 @@ fn statusz_single(api: &ServingApi, inner: &Inner) -> Json {
                     .collect(),
             ),
         ),
+        ("latency", latency_json(&inner.metrics)),
+        ("trace", trace_block(inner)),
         ("queue_depth", Json::uint(inner.queue.len() as u64)),
         ("workers", Json::uint(inner.config.workers as u64)),
     ])
@@ -581,6 +640,8 @@ fn statusz_fleet(fleet: &TenantFleet, inner: &Inner) -> Json {
         ("resident", Json::uint(tenants.iter().filter(|t| t.resident).count() as u64)),
         ("resident_bytes", Json::uint(tenants.iter().map(|t| t.resident_bytes).sum())),
         ("tenants", Json::Arr(rows)),
+        ("latency", latency_json(&inner.metrics)),
+        ("trace", trace_block(inner)),
         ("queue_depth", Json::uint(inner.queue.len() as u64)),
         ("workers", Json::uint(inner.config.workers as u64)),
     ])
@@ -619,10 +680,61 @@ fn resolve_api(
     }
 }
 
-fn infer(request: &Request, started: Instant, inner: &Inner, tenant: Option<&str>) -> Routed {
+/// `POST /v1/infer` (and tenant variants): trace bookkeeping around
+/// [`infer_inner`]. When tracing is on, the request checks a span buffer
+/// out of the flight recorder (honouring a propagated
+/// `x-graphex-trace` id from the router), charges the accept-queue wait
+/// as the first span, and on completion files the trace and echoes the
+/// id as a response header.
+fn infer(
+    request: &Request,
+    started: Instant,
+    queue_wait: Duration,
+    inner: &Inner,
+    tenant: Option<&str>,
+) -> Routed {
+    let Some(recorder) = &inner.traces else {
+        return infer_inner(request, started, inner, tenant, &mut StageTrace::disabled(), 0, false)
+            .0;
+    };
+    let header_id = request.header(TRACE_HEADER).and_then(parse_trace_id);
+    let propagated = header_id.is_some();
+    let (mut trace, id) = recorder.begin(started, header_id);
+    if !queue_wait.is_zero() {
+        trace.record_span(Stage::QueueWait, started, queue_wait, 0);
+    }
+    let (mut routed, entries) =
+        infer_inner(request, started, inner, tenant, &mut trace, id, propagated);
+    recorder.finish(
+        trace,
+        id,
+        tenant.map(str::to_string),
+        routed.status,
+        entries,
+        started.elapsed(),
+        Vec::new(),
+    );
+    routed.extra_headers.push((TRACE_HEADER, format!("{id:016x}")));
+    routed
+}
+
+/// The traced inference body. Returns the response plus the number of
+/// envelope entries answered (for the trace record). `embed` (the
+/// request carried a trace header — i.e. the router is upstream) embeds
+/// the full span breakdown in the response body so the router can fold
+/// it into its own trace.
+fn infer_inner(
+    request: &Request,
+    started: Instant,
+    inner: &Inner,
+    tenant: Option<&str>,
+    trace: &mut StageTrace,
+    trace_id: u64,
+    embed: bool,
+) -> (Routed, usize) {
     let api = match resolve_api(inner, tenant, Endpoint::Infer) {
         Ok(api) => api,
-        Err(routed) => return routed,
+        Err(routed) => return (routed, 0),
     };
 
     // Deadline check happens before any parsing or inference: a request
@@ -632,33 +744,41 @@ fn infer(request: &Request, started: Instant, inner: &Inner, tenant: Option<&str
             api.note_deadline_exceeded();
             let mut routed = Routed::error(Endpoint::Infer, 503, "deadline exceeded");
             routed.extra_headers.push(("Retry-After", "1".into()));
-            return routed;
+            return (routed, 0);
         }
     }
+    let parse_start = trace.clock();
     let Ok(text) = std::str::from_utf8(&request.body) else {
-        return Routed::error(Endpoint::Infer, 400, "body is not valid UTF-8");
+        return (Routed::error(Endpoint::Infer, 400, "body is not valid UTF-8"), 0);
     };
     let envelope = match json::parse(text) {
         Ok(value) => value,
-        Err(e) => return Routed::error(Endpoint::Infer, 400, format!("invalid JSON: {e}")),
+        Err(e) => return (Routed::error(Endpoint::Infer, 400, format!("invalid JSON: {e}")), 0),
     };
 
     let _guard = api.begin_request();
     match envelope.get("requests") {
         None => match decode_one(&envelope) {
-            Err(message) => Routed::error(Endpoint::Infer, 400, message),
+            Err(message) => (Routed::error(Endpoint::Infer, 400, message), 0),
             Ok(decoded) => {
-                let served = api.serve_request(&decoded.request());
-                let body = render_served(&served, decoded.id);
-                Routed::json(Endpoint::Infer, 200, &body)
+                trace.record(Stage::Parse, parse_start);
+                let served = api.serve_request_traced(&decoded.request(), trace);
+                let serialize_start = trace.clock();
+                let mut body = render_served(&served, decoded.id);
+                trace.record(Stage::Serialize, serialize_start);
+                stamp_trace(&mut body, trace, trace_id, embed, started);
+                (Routed::json(Endpoint::Infer, 200, &body), 1)
             }
         },
         Some(Json::Arr(entries)) => {
             if entries.len() > MAX_BATCH {
-                return Routed::error(
-                    Endpoint::Infer,
-                    400,
-                    format!("batch of {} exceeds cap of {MAX_BATCH}", entries.len()),
+                return (
+                    Routed::error(
+                        Endpoint::Infer,
+                        400,
+                        format!("batch of {} exceeds cap of {MAX_BATCH}", entries.len()),
+                    ),
+                    0,
                 );
             }
             let mut decoded = Vec::with_capacity(entries.len());
@@ -666,31 +786,56 @@ fn infer(request: &Request, started: Instant, inner: &Inner, tenant: Option<&str
                 match decode_one(entry) {
                     Ok(d) => decoded.push(d),
                     Err(message) => {
-                        return Routed::error(
-                            Endpoint::Infer,
-                            400,
-                            format!("requests[{i}]: {message}"),
+                        return (
+                            Routed::error(
+                                Endpoint::Infer,
+                                400,
+                                format!("requests[{i}]: {message}"),
+                            ),
+                            0,
                         )
                     }
                 }
             }
+            trace.record(Stage::Parse, parse_start);
             let requests: Vec<InferRequest<'_>> = decoded.iter().map(|d| d.request()).collect();
-            let served = api.serve_batch(&requests);
+            let served = api.serve_batch_traced(&requests, trace);
+            let serialize_start = trace.clock();
             let responses: Vec<Json> = served
                 .iter()
                 .zip(&decoded)
                 .map(|(s, d)| render_served(s, d.id))
                 .collect();
-            let body = Json::obj(vec![
+            let mut body = Json::obj(vec![
                 ("responses", Json::Arr(responses)),
                 // Envelope-level: the snapshot *serving* right now (the
                 // per-response field is the snapshot that produced each
                 // answer, which can be older on cached store hits).
                 ("snapshot_version", Json::uint(api.snapshot_version())),
             ]);
-            Routed::json(Endpoint::Infer, 200, &body)
+            trace.record(Stage::Serialize, serialize_start);
+            stamp_trace(&mut body, trace, trace_id, embed, started);
+            (Routed::json(Endpoint::Infer, 200, &body), decoded.len())
         }
-        Some(_) => Routed::error(Endpoint::Infer, 400, "\"requests\" must be an array"),
+        Some(_) => (Routed::error(Endpoint::Infer, 400, "\"requests\" must be an array"), 0),
+    }
+}
+
+/// Stamps a successful inference body with the trace id and — when the
+/// request propagated one (the router is upstream) — the full span
+/// breakdown for the router to fold into its own trace.
+fn stamp_trace(body: &mut Json, trace: &StageTrace, trace_id: u64, embed: bool, started: Instant) {
+    if !trace.is_enabled() {
+        return;
+    }
+    if let Json::Obj(members) = body {
+        members.push(("trace_id".to_string(), Json::str(format!("{trace_id:016x}"))));
+        if embed {
+            members.push((
+                "trace".to_string(),
+                trace_json_inline(trace, trace_id, started.elapsed()),
+            ));
+        }
     }
 }
 
@@ -1006,6 +1151,7 @@ mod tests {
             max_body_bytes: 4096,
             deadline: None,
             keep_alive_timeout: Duration::from_secs(2),
+            trace: TraceConfig::default(),
         }
     }
 

@@ -408,8 +408,21 @@ impl ServingApi {
     /// re-rank a cached answer. Send the request id-less to force a
     /// fresh computation with full override fidelity.
     pub fn serve_request(&self, request: &InferRequest<'_>) -> Served {
+        self.serve_request_traced(request, &mut graphex_core::StageTrace::disabled())
+    }
+
+    /// [`ServingApi::serve_request`] with stage spans recorded into
+    /// `trace`: KV lookup (detail 1 = fresh hit served, 0 = miss/stale),
+    /// single-flight wait, and the inference stages via
+    /// [`graphex_core::Engine::infer_traced`]. A disabled trace makes
+    /// this the plain untraced path.
+    pub fn serve_request_traced(
+        &self,
+        request: &InferRequest<'_>,
+        trace: &mut graphex_core::StageTrace,
+    ) -> Served {
         let Some(item) = request.id else {
-            let served = self.compute(request);
+            let served = self.compute_traced(request, trace);
             self.count(&served);
             return served;
         };
@@ -429,6 +442,8 @@ impl ServingApi {
                 SwapPolicy::Serve => 0,
                 SwapPolicy::Invalidate => self.watch.version(),
             };
+            let kv_start = trace.clock();
+            let mut fresh_hit = None;
             if let Some(stored) = self.store.get(item) {
                 if !self.record_is_fresh(stored.snapshot_version, current) {
                     // Stale under SwapPolicy::Invalidate: fall through to
@@ -440,8 +455,15 @@ impl ServingApi {
                     // overlay (the write-back re-tags the record).
                     self.overlay_invalidated.fetch_add(1, Ordering::Relaxed);
                 } else {
+                    fresh_hit = Some(stored);
+                }
+            }
+            match fresh_hit {
+                Some(stored) => {
+                    trace.record_detail(graphex_core::Stage::KvLookup, kv_start, 1);
                     return self.count_hit(stored, request.k);
                 }
+                None => trace.record_detail(graphex_core::Stage::KvLookup, kv_start, 0),
             }
             let role = {
                 let mut inflight = self.lock_inflight();
@@ -475,7 +497,9 @@ impl ServingApi {
 
             return match role {
                 Role::Follower(flight) => {
+                    let wait_start = trace.clock();
                     let mut served = flight.wait();
+                    trace.record(graphex_core::Stage::SingleFlightWait, wait_start);
                     // Only a servable answer counts as coalescing;
                     // unservable stays `None` so callers' fallback logic is
                     // deterministic.
@@ -495,7 +519,7 @@ impl ServingApi {
                     // so followers unblock and later requests retry instead
                     // of joining a wedged flight forever.
                     let mut guard = LeaderGuard { api: self, item, flight: &flight, armed: true };
-                    let served = self.compute(request);
+                    let served = self.compute_traced(request, trace);
                     if served.outcome.is_servable() {
                         self.store.put_tagged(
                             item,
@@ -523,6 +547,16 @@ impl ServingApi {
     /// single-flight read-through path as [`ServingApi::serve_request`].
     pub fn serve_batch(&self, requests: &[InferRequest<'_>]) -> Vec<Served> {
         requests.iter().map(|r| self.serve_request(r)).collect()
+    }
+
+    /// [`ServingApi::serve_batch`] with one shared trace: each entry's
+    /// stage spans append to the same buffer (one trace per envelope).
+    pub fn serve_batch_traced(
+        &self,
+        requests: &[InferRequest<'_>],
+        trace: &mut graphex_core::StageTrace,
+    ) -> Vec<Served> {
+        requests.iter().map(|r| self.serve_request_traced(r, trace)).collect()
     }
 
     /// Counter snapshot.
@@ -580,7 +614,11 @@ impl ServingApi {
     /// The returned [`Served::snapshot_version`] is the snapshot the
     /// inference actually ran on, so the write-back tags the record with
     /// the producing model even if a swap lands between compute and put.
-    fn compute(&self, request: &InferRequest<'_>) -> Served {
+    fn compute_traced(
+        &self,
+        request: &InferRequest<'_>,
+        trace: &mut graphex_core::StageTrace,
+    ) -> Served {
         let request =
             if request.id.is_some() { request.resolve_texts(true) } else { *request };
         // Resolve the model per computation: this is the hot-swap seam.
@@ -598,7 +636,7 @@ impl ServingApi {
             }
             None => (None, 0),
         };
-        let response = active.engine.infer_with_overlay(&request, view.as_deref());
+        let response = active.engine.infer_traced(&request, view.as_deref(), trace);
         let source = if !response.outcome.is_servable() {
             ServeSource::None
         } else if request.id.is_some() {

@@ -94,6 +94,7 @@ fn churn_build_publish_serve_loopback_zero_5xx() {
             max_body_bytes: 1 << 16,
             deadline: None, // the zero-5xx gate must not race a timer
             keep_alive_timeout: Duration::from_secs(5),
+            trace: Default::default(),
         },
         Arc::clone(&api),
     )

@@ -23,7 +23,7 @@ use graphex_marketsim::{CategorySpec, ChurnCorpus};
 use graphex_pipeline::{build, BuildOutput, BuildPlan, MarketsimSource, BUILDINFO_FILE};
 use graphex_server::{
     start_router, ChaosBackend, ChaosMode, ClusterConfig, HttpClient, Json, LocalCluster,
-    RouterConfig, ServerConfig, ShardMap, OUTCOME_BACKEND_UNAVAILABLE,
+    RouterConfig, ServerConfig, ShardMap, TraceConfig, OUTCOME_BACKEND_UNAVAILABLE,
 };
 use graphex_serving::{KvStore, ModelRegistry, ServingApi};
 use std::path::PathBuf;
@@ -77,8 +77,22 @@ impl Fixture {
         graphex_pipeline::publish_shards(&snapshots, &root, "gen0").unwrap();
         let roots: Vec<PathBuf> =
             (0..SHARDS).map(|i| graphex_pipeline::shard_root(&root, i)).collect();
+        // Trace ids are minted per process, so traced responses can never
+        // be byte-identical across servers — the sharded≡monolith byte
+        // gates run with tracing off on every frontend. (The trace gate
+        // lives in tests/trace.rs.)
+        let untraced = TraceConfig { enabled: false, ..TraceConfig::default() };
         let config = ClusterConfig {
-            router: RouterConfig { addr: "127.0.0.1:0".into(), ..Default::default() },
+            backend: ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                trace: untraced.clone(),
+                ..Default::default()
+            },
+            router: RouterConfig {
+                addr: "127.0.0.1:0".into(),
+                trace: untraced.clone(),
+                ..Default::default()
+            },
             ..Default::default()
         };
         let cluster = LocalCluster::boot(&roots, &config).unwrap();
@@ -95,7 +109,7 @@ impl Fixture {
             10,
         ));
         let monolith = graphex_server::start(
-            ServerConfig { addr: "127.0.0.1:0".into(), ..Default::default() },
+            ServerConfig { addr: "127.0.0.1:0".into(), trace: untraced, ..Default::default() },
             api,
         )
         .unwrap();

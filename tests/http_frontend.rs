@@ -52,6 +52,7 @@ impl Fixture {
                 max_body_bytes: 1 << 16,
                 deadline: None, // zero-5xx gate must not race a timer
                 keep_alive_timeout: Duration::from_secs(5),
+                trace: Default::default(),
             },
             Arc::clone(&api),
         )

@@ -98,6 +98,7 @@ fn eight_tenants_cap_three_zero_5xx_through_evictions_and_hot_swaps() {
             max_body_bytes: 1 << 16,
             deadline: None, // the zero-5xx gate must not race a timer
             keep_alive_timeout: Duration::from_secs(5),
+            trace: Default::default(),
         },
         Arc::clone(&fleet),
     )
