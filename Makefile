@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test doc clippy bench-smoke bench bench-snapshot serve-smoke bench-http bench-build bench-cluster bench-tenancy bench-overlay bench-trace cluster-smoke ci
+.PHONY: build test doc clippy bench-smoke bench bench-snapshot serve-smoke bench-http bench-build bench-cluster bench-tenancy bench-overlay bench-trace bench-history cluster-smoke report ci
 
 # Tier-1 gate, part 1.
 build:
@@ -84,6 +84,22 @@ bench-trace:
 	$(CARGO) run --release -p graphex-bench --bin tracebench -- \
 	  --requests 3000 --connections 4 \
 	  --output BENCH_trace_overhead.json --date $$(date +%Y-%m-%d)
+
+# Telemetry-history overhead: interleaved history-off / history-on arms
+# (the on arm sampling at 20x the production rate) over loopback infer
+# traffic; fails if the sampled arm is >1% slower than the baseline.
+# Records the BENCH_report_history.json datapoint.
+bench-history:
+	$(CARGO) run --release -p graphex-bench --bin historybench -- \
+	  --requests 3000 --connections 4 \
+	  --output BENCH_report_history.json --date $$(date +%Y-%m-%d)
+
+# The observability report: compile every BENCH_*.json in the repo root,
+# a live history + trace capture (in-process demo server), and a judged
+# eval into one self-contained report.html — no external assets, opens
+# from file://.
+report:
+	$(CARGO) run --release -p graphex-cli --bin graphex -- report --out report.html
 
 # Cluster smoke: build -> per-shard snapshots -> 3 backends + router,
 # then the sharded≡monolith, rolling-swap zero-5xx, and health gates.

@@ -1,36 +1,35 @@
-//! `tracebench` — measure what request tracing costs on the serving hot
-//! path. Three arms over the same model and request stream, each against
-//! a freshly booted `graphex-server`:
+//! `historybench` — measure what the telemetry-history sampler costs on
+//! the serving hot path. Two arms over the same model and request
+//! stream, each against a freshly booted `graphex-server`:
 //!
-//! * `off`  — tracing disabled (the zero-overhead baseline: one branch
-//!   per stage, no clock reads).
-//! * `on`   — tracing enabled with the default 25ms slow threshold, which
-//!   loopback traffic never crosses (spans + ring, slow ring idle).
-//! * `slow` — tracing enabled with a zero slow threshold, so *every*
-//!   request also lands on the slow ring (the worst-case write path).
+//! * `off` — history disabled (no sampler thread, no ring).
+//! * `on`  — history enabled with a deliberately aggressive interval
+//!   (default 50ms, 20× the production default rate) so the sampler
+//!   provably fires many times inside the measurement window.
 //!
-//! Arms are interleaved across passes so machine noise hits all arms
-//! alike, and the overhead is the **best matched pair**: each pass
-//! compares its own off/on runs (seconds apart, same machine state) and
-//! the smallest per-pass delta is the verdict — a loaded CI neighbour
-//! can slow a whole pass, but it cannot manufacture overhead in every
-//! pass at once. The run **fails** (exit 1) if that overhead exceeds
-//! `--max-overhead-pct` (default 5), or if any response is non-200. On
-//! success it prints (and with `--output`, writes)
-//! `BENCH_trace_overhead.json`.
+//! The sampler never touches the request path — it reads the same
+//! atomics the handlers bump and appends to its own ring — so the
+//! budget here is tight: **1%** by default, versus tracebench's 5%.
+//! Arms are interleaved across passes and the overhead is the best
+//! matched pair (smallest within-pass off-vs-on delta), which cancels
+//! inter-pass machine drift; a loaded CI neighbour can slow one pass,
+//! but it cannot manufacture overhead in every pass at once. Exit 1 if
+//! the overhead exceeds `--max-overhead-pct`, if any response is
+//! non-200, or if the on arm failed to record samples. On success it
+//! prints (and with `--output`, writes) `BENCH_report_history.json`.
 //!
 //! ```text
-//! cargo run --release -p graphex-bench --bin tracebench -- \
+//! cargo run --release -p graphex-bench --bin historybench -- \
 //!     [--requests 3000] [--connections 4] [--scale cat1|cat2|cat3|tiny] \
-//!     [--passes 3] [--max-overhead-pct 5] \
-//!     [--output BENCH_trace_overhead.json] [--date YYYY-MM-DD]
+//!     [--passes 3] [--interval-ms 50] [--max-overhead-pct 1] \
+//!     [--output BENCH_report_history.json] [--date YYYY-MM-DD]
 //! ```
 
 use graphex_bench::experiments::{build_graphex, default_threshold};
 use graphex_core::GraphExModel;
 use graphex_marketsim::{CategoryDataset, CategorySpec};
 use graphex_serving::{KvStore, ServingApi};
-use graphex_server::{HttpClient, Json, ServerConfig, TraceConfig};
+use graphex_server::{HistoryConfig, HttpClient, Json, ServerConfig};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -39,6 +38,7 @@ struct Args {
     connections: usize,
     scale: String,
     passes: usize,
+    interval_ms: u64,
     max_overhead_pct: f64,
     output: Option<String>,
     date: String,
@@ -50,7 +50,8 @@ fn parse_args() -> Result<Args, String> {
         connections: 4,
         scale: "tiny".into(),
         passes: 3,
-        max_overhead_pct: 5.0,
+        interval_ms: 50,
+        max_overhead_pct: 1.0,
         output: None,
         date: "unrecorded".into(),
     };
@@ -63,6 +64,7 @@ fn parse_args() -> Result<Args, String> {
             "--connections" => args.connections = value.parse().map_err(|_| "bad --connections")?,
             "--scale" => args.scale = value.clone(),
             "--passes" => args.passes = value.parse().map_err(|_| "bad --passes")?,
+            "--interval-ms" => args.interval_ms = value.parse().map_err(|_| "bad --interval-ms")?,
             "--max-overhead-pct" => {
                 args.max_overhead_pct = value.parse().map_err(|_| "bad --max-overhead-pct")?;
             }
@@ -75,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
     args.connections = args.connections.clamp(1, 64);
     args.requests = args.requests.max(args.connections as u64);
     args.passes = args.passes.clamp(1, 16);
+    args.interval_ms = args.interval_ms.max(10);
     Ok(args)
 }
 
@@ -92,7 +95,7 @@ fn main() {
     let args = match parse_args() {
         Ok(args) => args,
         Err(e) => {
-            eprintln!("tracebench: {e}");
+            eprintln!("historybench: {e}");
             std::process::exit(2);
         }
     };
@@ -101,31 +104,20 @@ fn main() {
             println!("{report}");
             if let Some(path) = &args.output {
                 if let Err(e) = std::fs::write(path, format!("{report}\n")) {
-                    eprintln!("tracebench: write {path}: {e}");
+                    eprintln!("historybench: write {path}: {e}");
                     std::process::exit(2);
                 }
                 eprintln!("recorded {path}");
             }
         }
         Err(e) => {
-            eprintln!("tracebench FAILED: {e}");
+            eprintln!("historybench FAILED: {e}");
             std::process::exit(1);
         }
     }
 }
 
-/// The three arms, in interleave order.
-const ARMS: [&str; 3] = ["off", "on", "slow"];
-
-fn trace_config(arm: &str) -> TraceConfig {
-    match arm {
-        "off" => TraceConfig { enabled: false, ..TraceConfig::default() },
-        "on" => TraceConfig::default(),
-        // Every request crosses a zero threshold → the slow ring takes a
-        // write per request (worst case for the recorder).
-        _ => TraceConfig { slow_threshold: Duration::from_nanos(0), ..TraceConfig::default() },
-    }
-}
+const ARMS: [&str; 2] = ["off", "on"];
 
 fn run(args: &Args) -> Result<String, String> {
     eprintln!("generating {} dataset + model ...", args.scale);
@@ -142,40 +134,39 @@ fn run(args: &Args) -> Result<String, String> {
     }
 
     let mut passes: Vec<[f64; ARMS.len()]> = Vec::with_capacity(args.passes);
+    let mut min_samples = u64::MAX;
     for pass in 0..args.passes {
         let mut row = [0.0f64; ARMS.len()];
         for (slot, arm) in ARMS.iter().enumerate() {
-            row[slot] = run_arm(args, Arc::clone(&model), &pool, arm)?;
-            eprintln!("pass {pass} arm {arm:<4}: {:.0} req/s", row[slot]);
+            let (throughput, samples) = run_arm(args, Arc::clone(&model), &pool, arm)?;
+            row[slot] = throughput;
+            if *arm == "on" {
+                min_samples = min_samples.min(samples);
+            }
+            eprintln!("pass {pass} arm {arm:<3}: {throughput:.0} req/s ({samples} samples)");
         }
         passes.push(row);
     }
     // Best matched pair: overhead judged within each pass, smallest
     // per-pass delta wins (inter-pass drift cancels out of the ratio).
-    let pair_overhead = |slot: usize| {
-        passes
-            .iter()
-            .map(|row| ((row[0] - row[slot]) / row[0] * 100.0).max(0.0))
-            .fold(f64::INFINITY, f64::min)
-    };
-    let on_pct = pair_overhead(1);
-    let slow_pct = pair_overhead(2);
+    let on_pct = passes
+        .iter()
+        .map(|row| ((row[0] - row[1]) / row[0] * 100.0).max(0.0))
+        .fold(f64::INFINITY, f64::min);
     let best = |slot: usize| passes.iter().map(|row| row[slot]).fold(0.0, f64::max);
-    let (off, on, slow) = (best(0), best(1), best(2));
-    eprintln!(
-        "best: off {off:.0}  on {on:.0}  slow {slow:.0}; matched-pair overhead: on {on_pct:.1}%  slow {slow_pct:.1}%"
-    );
+    let (off, on) = (best(0), best(1));
+    eprintln!("best: off {off:.0}  on {on:.0}; matched-pair overhead: {on_pct:.2}%");
     if on_pct > args.max_overhead_pct {
         return Err(format!(
-            "tracing overhead {on_pct:.1}% exceeds the {:.1}% budget ({off:.0} → {on:.0} req/s)",
+            "history overhead {on_pct:.2}% exceeds the {:.2}% budget ({off:.0} → {on:.0} req/s)",
             args.max_overhead_pct
         ));
     }
 
     let report = format!(
         r#"{{
-  "bench": "trace_overhead",
-  "description": "three interleaved arms of loopback POST /v1/infer traffic against a release-built graphex-server: tracing off, tracing on (default 25ms slow threshold, slow ring idle), and tracing on with a zero slow threshold so every request also writes the slow ring. Throughputs are the best pass per arm; the overhead percentages are the best matched pair (smallest within-pass off-vs-traced delta), which cancels inter-pass machine drift. Gate: the traced arm within the overhead budget.",
+  "bench": "report_history",
+  "description": "two interleaved arms of loopback POST /v1/infer traffic against a release-built graphex-server: telemetry history off, and on with an aggressive sampling interval (20x the production default rate). The sampler reads the same atomics the handlers bump and writes its own ring, never touching the request path, so the budget is 1% — versus tracebench's 5%. Throughputs are the best pass per arm; the overhead percentage is the best matched pair (smallest within-pass off-vs-on delta), which cancels inter-pass machine drift. Gate: overhead within budget and the on arm actually recorded samples.",
   "date": "{date}",
   "machine": {{
     "os": "{os}",
@@ -187,15 +178,15 @@ fn run(args: &Args) -> Result<String, String> {
     "requests_per_arm": {requests},
     "connections": {connections},
     "passes": {passes},
-    "max_overhead_pct": {budget:.1},
+    "sample_interval_ms": {interval},
+    "max_overhead_pct": {budget:.2},
     "profile": "{profile}"
   }},
   "results": {{
     "throughput_off_per_s": {off:.0},
     "throughput_on_per_s": {on:.0},
-    "throughput_slow_logging_per_s": {slow:.0},
     "overhead_on_pct": {on_pct:.2},
-    "overhead_slow_logging_pct": {slow_pct:.2}
+    "min_samples_per_on_arm": {min_samples}
   }}
 }}"#,
         date = args.date,
@@ -205,6 +196,7 @@ fn run(args: &Args) -> Result<String, String> {
         requests = args.requests,
         connections = args.connections,
         passes = args.passes,
+        interval = args.interval_ms,
         budget = args.max_overhead_pct,
         profile = if cfg!(debug_assertions) { "debug" } else { "release" },
     );
@@ -212,14 +204,20 @@ fn run(args: &Args) -> Result<String, String> {
 }
 
 /// Boots a fresh server (fresh KV store, so arms see identical cache
-/// behaviour), replays the request stream, and returns req/s.
+/// behaviour), replays the request stream, and returns (req/s, samples
+/// the history ring recorded during the run).
 fn run_arm(
     args: &Args,
     model: Arc<GraphExModel>,
     pool: &[(String, u32, u64)],
     arm: &str,
-) -> Result<f64, String> {
+) -> Result<(f64, u64), String> {
     let api = Arc::new(ServingApi::new(model, Arc::new(KvStore::new()), 10));
+    let history = HistoryConfig {
+        enabled: arm == "on",
+        interval: Duration::from_millis(args.interval_ms),
+        ..HistoryConfig::default()
+    };
     let server = graphex_server::start(
         ServerConfig {
             addr: "127.0.0.1:0".into(),
@@ -228,8 +226,8 @@ fn run_arm(
             max_body_bytes: 1 << 20,
             deadline: Some(Duration::from_secs(10)),
             keep_alive_timeout: Duration::from_secs(10),
-            trace: trace_config(arm),
-            history: Default::default(),
+            trace: Default::default(),
+            history,
         },
         api,
     )
@@ -272,30 +270,28 @@ fn run_arm(
     }
     let elapsed = started.elapsed();
 
-    // Sanity per arm: the recorder saw exactly what the arm promises.
-    match (arm, server.traces()) {
-        ("off", Some(_)) => return Err("off arm booted with a recorder".into()),
-        ("off", None) => {}
-        (_, None) => return Err(format!("{arm} arm booted without a recorder")),
-        (a, Some(recorder)) => {
-            if recorder.recorded() < total {
-                return Err(format!(
-                    "{a} arm recorded {} traces for {total} requests",
-                    recorder.recorded()
-                ));
+    // Sanity per arm: the ring saw exactly what the arm promises.
+    let samples = match (arm, server.history()) {
+        ("off", Some(_)) => return Err("off arm booted with a history ring".into()),
+        ("off", None) => 0,
+        (_, None) => return Err("on arm booted without a history ring".into()),
+        (_, Some(history)) => {
+            // The run lasts requests/throughput seconds; at 50ms the
+            // sampler should have fired at least once unless the whole
+            // arm finished inside one interval — force one so the ring
+            // provably works, then require content either way.
+            server.sample_history_now();
+            let recorded = history.recorded();
+            if recorded == 0 {
+                return Err("on arm recorded no history samples".into());
             }
-            if a == "slow" && recorder.slow_count() < total {
-                return Err(format!(
-                    "slow arm logged {} slow traces for {total} requests",
-                    recorder.slow_count()
-                ));
-            }
+            recorded
         }
-    }
+    };
     let errors_5xx = server.metrics().server_errors();
     server.shutdown();
     if errors_5xx > 0 {
         return Err(format!("{errors_5xx} responses were 5xx"));
     }
-    Ok(total as f64 / elapsed.as_secs_f64())
+    Ok((total as f64 / elapsed.as_secs_f64(), samples))
 }

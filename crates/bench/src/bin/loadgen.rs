@@ -119,6 +119,7 @@ fn run(args: &Args) -> Result<String, String> {
             deadline: Some(Duration::from_secs(10)),
             keep_alive_timeout: Duration::from_secs(10),
             trace: Default::default(),
+            history: Default::default(),
         },
         Arc::clone(&api),
     )

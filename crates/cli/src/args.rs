@@ -24,6 +24,9 @@ const SWITCHES: &[&str] = &[
     "heap",
     "overlay",
     "no-trace",
+    "no-history",
+    "no-live",
+    "no-eval",
     "slow",
 ];
 

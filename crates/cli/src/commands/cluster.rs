@@ -334,6 +334,49 @@ fn smoke_gates(
         }
     }
     let _ = writeln!(out, "router /statusz: {} backend(s) healthy", backends.len());
+
+    // Gate 4: the telemetry-history ring is live on every node. Force a
+    // sample cluster-wide, then probe `/debug/history` on the router
+    // (router-shaped series) and on each backend (serving series).
+    cluster.sample_history_now();
+    let history = client.get("/debug/history").map_err(io)?;
+    if history.status != 200 {
+        return Err(format!("router GET /debug/history: HTTP {}", history.status));
+    }
+    let parsed = graphex_server::json::parse(&history.text())
+        .map_err(|e| format!("router debug/history payload: {e}"))?;
+    if parsed.get("samples").and_then(|v| v.as_u64()).unwrap_or(0) == 0 {
+        return Err(format!("router history holds no samples: {}", history.text()));
+    }
+    for key in ["router/requests_in", "router/backends_healthy"] {
+        if parsed.get("series").and_then(|s| s.get(key)).is_none() {
+            return Err(format!("router history missing {key} series: {}", history.text()));
+        }
+    }
+    for backend in cluster.backends() {
+        let mut client = HttpClient::connect(backend.addr()).map_err(io)?;
+        let history = client.get("/debug/history").map_err(io)?;
+        if history.status != 200 {
+            return Err(format!(
+                "shard {} GET /debug/history: HTTP {}",
+                backend.shard, history.status
+            ));
+        }
+        let parsed = graphex_server::json::parse(&history.text())
+            .map_err(|e| format!("shard {} debug/history payload: {e}", backend.shard))?;
+        if parsed.get("series").and_then(|s| s.get("serve/requests")).is_none() {
+            return Err(format!(
+                "shard {} history missing serve/requests series: {}",
+                backend.shard,
+                history.text()
+            ));
+        }
+    }
+    let _ = writeln!(
+        out,
+        "telemetry history: router + {} backend(s) sampling",
+        cluster.backends().len()
+    );
     Ok(())
 }
 

@@ -8,6 +8,7 @@ pub mod explain;
 pub mod infer;
 pub mod model;
 pub mod overlay;
+pub mod report;
 pub mod route;
 pub mod serve;
 pub mod simulate;

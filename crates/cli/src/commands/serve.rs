@@ -19,7 +19,7 @@ use graphex_serving::{
     FleetConfig, KvStore, ModelRegistry, ModelWatch, OverlayStore, ServingApi, SwapPolicy,
     TenantFleet, DEFAULT_OVERLAY_CAP_BYTES,
 };
-use graphex_server::{HttpClient, ServerConfig, TraceConfig};
+use graphex_server::{HistoryConfig, HttpClient, ServerConfig, TraceConfig};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
@@ -179,6 +179,18 @@ fn config_from(args: &ParsedArgs) -> Result<ServerConfig, String> {
             .max(1),
         ),
     };
+    let history_defaults = HistoryConfig::default();
+    let history = HistoryConfig {
+        enabled: !args.switch("no-history"),
+        interval: Duration::from_millis(
+            args.get_num::<u64>(
+                "history-interval-ms",
+                history_defaults.interval.as_millis() as u64,
+            )?
+            .max(10),
+        ),
+        ring: args.get_num::<usize>("history-ring", history_defaults.ring)?.max(1),
+    };
     Ok(ServerConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
         workers: args.get_num::<usize>("workers", 4)?.max(1),
@@ -187,12 +199,15 @@ fn config_from(args: &ParsedArgs) -> Result<ServerConfig, String> {
         deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
         keep_alive_timeout: Duration::from_secs(5),
         trace,
+        history,
     })
 }
 
 /// A small servable model for the smoke check (no files needed). The
 /// overlay is attached so the smoke run exercises the NRT write path.
-fn demo_api() -> Result<Arc<ServingApi>, String> {
+/// `graphex report` reuses it to capture live history/trace sections
+/// without a running deployment.
+pub(crate) fn demo_api() -> Result<Arc<ServingApi>, String> {
     let mut config = GraphExConfig::default();
     config.curation.min_search_count = 0;
     let model = GraphExBuilder::new(config)
@@ -208,7 +223,9 @@ fn demo_api() -> Result<Arc<ServingApi>, String> {
 }
 
 /// Boot → probe all endpoints → graceful shutdown. Any failed probe is a
-/// hard error (non-zero exit through `dispatch`).
+/// hard error (non-zero exit through `dispatch`). Runs twice: once over
+/// a single-api backend, once over a temp-dir tenant fleet, so the
+/// history/trace surfaces are proven in both backend modes.
 fn smoke() -> Result<String, String> {
     let api = demo_api()?;
     let config = ServerConfig { addr: "127.0.0.1:0".into(), ..Default::default() };
@@ -217,13 +234,112 @@ fn smoke() -> Result<String, String> {
     let mut out = String::new();
     let _ = writeln!(out, "smoke server on http://{addr}");
 
-    let result = smoke_probes(addr, &mut out);
+    let result = smoke_probes(addr, &mut out).and_then(|()| {
+        // The traffic above is in the counters; force a sample so the
+        // history probes don't wait out the 1s interval.
+        server.sample_history_now();
+        history_probes(addr, &mut out)
+    });
     server.shutdown();
     let _ = writeln!(out, "graceful shutdown: ok");
-    result.map(|()| {
-        let _ = writeln!(out, "serve smoke: all probes passed");
-        out
-    })
+    result?;
+
+    smoke_fleet(&mut out)?;
+    let _ = writeln!(out, "serve smoke: all probes passed");
+    Ok(out)
+}
+
+/// Fleet-mode smoke: a temp-dir fleet with one tenant, probed for the
+/// same history surfaces the single-mode server answers.
+fn smoke_fleet(out: &mut String) -> Result<(), String> {
+    let root = std::env::temp_dir()
+        .join(format!("graphex-serve-smoke-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let fleet = TenantFleet::open(&root, FleetConfig::default())
+        .map_err(|e| format!("smoke fleet open: {e}"))?;
+    let mut config = GraphExConfig::default();
+    config.curation.min_search_count = 0;
+    let model = GraphExBuilder::new(config)
+        .add_records(
+            (0..4u32).map(|i| KeyphraseRecord::new(format!("fleet widget {i}"), LeafId(1), 50, 5)),
+        )
+        .build()
+        .map_err(|e| format!("smoke fleet model: {e}"))?;
+    fleet
+        .publish_model("default", &model, "smoke")
+        .map_err(|e| format!("smoke fleet publish: {e}"))?;
+    let server = graphex_server::start_fleet(
+        ServerConfig { addr: "127.0.0.1:0".into(), ..Default::default() },
+        Arc::new(fleet),
+    )
+    .map_err(|e| format!("smoke fleet bind: {e}"))?;
+    let addr = server.addr();
+    let _ = writeln!(out, "smoke fleet server on http://{addr}");
+
+    let io = |e: std::io::Error| format!("smoke fleet client: {e}");
+    let mut client = HttpClient::connect(addr).map_err(io)?;
+    let infer = client
+        .post_json("/v1/t/default/infer", r#"{"title":"fleet widget 1","leaf":1,"k":3}"#)
+        .map_err(io)?;
+    expect(out, "POST /v1/t/default/infer (fleet)", infer.status, 200)?;
+    drop(client);
+    server.sample_history_now();
+    let result = history_probes(addr, out).and_then(|()| {
+        // Fleet samples must carry per-tenant series.
+        let mut client = HttpClient::connect(addr).map_err(io)?;
+        let history = client.get("/debug/history?series=tenant/default").map_err(io)?;
+        let parsed = graphex_server::json::parse(&history.text())
+            .map_err(|e| format!("fleet debug/history is not JSON: {e}"))?;
+        let has_tenant_series = parsed
+            .get("series")
+            .and_then(|s| s.get("tenant/default/serve/requests"))
+            .is_some();
+        if !has_tenant_series {
+            return Err(format!(
+                "fleet history missing per-tenant series: {}",
+                history.text()
+            ));
+        }
+        let _ = writeln!(out, "fleet per-tenant history series: ok");
+        Ok(())
+    });
+    server.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+    result
+}
+
+/// Probes `GET /debug/history` and the `/statusz` history block; the
+/// caller has already driven traffic and forced a sample.
+fn history_probes(addr: std::net::SocketAddr, out: &mut String) -> Result<(), String> {
+    let io = |e: std::io::Error| format!("smoke client: {e}");
+    let mut client = HttpClient::connect(addr).map_err(io)?;
+    let history = client.get("/debug/history").map_err(io)?;
+    expect(out, "GET /debug/history", history.status, 200)?;
+    if history.header("content-type") != Some("application/json") {
+        return Err(format!(
+            "debug/history content-type: {:?}",
+            history.header("content-type")
+        ));
+    }
+    let parsed = graphex_server::json::parse(&history.text())
+        .map_err(|e| format!("debug/history is not JSON: {e}"))?;
+    let samples = parsed.get("samples").and_then(|v| v.as_u64()).unwrap_or(0);
+    if samples == 0 {
+        return Err(format!("debug/history holds no samples: {}", history.text()));
+    }
+    if parsed.get("series").and_then(|s| s.get("http/requests")).is_none() {
+        return Err(format!("debug/history missing http/requests series: {}", history.text()));
+    }
+
+    let status = client.get("/statusz").map_err(io)?;
+    expect(out, "GET /statusz (history block)", status.status, 200)?;
+    let stats = graphex_server::json::parse(&status.text())
+        .map_err(|e| format!("statusz is not JSON: {e}"))?;
+    let block = stats.get("history").ok_or("statusz missing history block")?;
+    if block.get("sparklines").is_none() {
+        return Err(format!("statusz history block missing sparklines: {}", status.text()));
+    }
+    Ok(())
 }
 
 fn smoke_probes(addr: std::net::SocketAddr, out: &mut String) -> Result<(), String> {

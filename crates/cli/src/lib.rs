@@ -55,6 +55,9 @@ pub fn usage() -> &'static str {
                    [--addr host:port] [--workers N] [--queue N]
                    [--backend-timeout-ms N] [--retries N] [--eject-after N]
   graphex trace    --server <host:port> [--slow] [--limit N] [--min-us N]
+  graphex report   [--out <report.html>] [--bench-dir <dir>]
+                   [--server <host:port> | --no-live]
+                   [--no-eval] [--eval-items N] [--eval-seed N]
   graphex cluster  up    --root <cluster dir> [--addr host:port] [--k N]
                          [--workers N] [--poll-ms N]
   graphex cluster  smoke [--shards N] [--clients N] [--seed N]
@@ -94,6 +97,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "serve" => commands::serve::run(&parsed),
         "route" => commands::route::run(&parsed),
         "trace" => commands::trace::run(&parsed),
+        "report" => commands::report::run(&parsed),
         "diff" => commands::diff::run(&parsed),
         "help" | "--help" | "-h" => Ok(format!("{}\n", usage())),
         other => Err(format!("unknown command {other:?}")),

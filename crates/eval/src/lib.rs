@@ -28,4 +28,6 @@ pub mod metrics;
 pub use capabilities::{framework_capabilities, FrameworkRow};
 pub use harness::{Evaluation, JudgedPrediction, ModelOutcome};
 pub use judge::{HeadThreshold, RelevanceJudge};
-pub use metrics::{exclusive_relevant_head, precision_recall_vs, Fig4Row, PrScores};
+pub use metrics::{
+    exclusive_relevant_head, precision_recall_vs, topk_diversity, Fig4Row, PrScores, TopkDiversity,
+};

@@ -122,6 +122,102 @@ pub fn precision_recall_vs(eval: &Evaluation, model: &str, ground_truth: &str) -
     PrScores { precision: precision_sum / counted as f64, recall: recall_sum / counted as f64 }
 }
 
+/// Perception-centred top-k set quality (the "From Precision to
+/// Perception" axes, arXiv:2504.21667): precision metrics cannot tell a
+/// varied top-k from ten paraphrases of the winner, so these score the
+/// *set*, not its members.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopkDiversity {
+    pub model: String,
+    /// Intra-list diversity: mean pairwise `1 − Jaccard(token sets)`
+    /// over each item's top-k, macro-averaged across items. 1.0 = every
+    /// pair of predictions is lexically disjoint.
+    pub diversity: f64,
+    /// Marginal redundancy: for each prediction after the first, its max
+    /// Jaccard similarity to any *earlier-ranked* prediction, averaged.
+    /// High = later ranks mostly re-say earlier ones.
+    pub redundancy: f64,
+    /// Distinct-token ratio: unique tokens across the top-k over total
+    /// tokens emitted, macro-averaged. A vocabulary-width complement to
+    /// the pairwise measures.
+    pub distinct_token_ratio: f64,
+}
+
+/// Lowercased whitespace token set of one keyphrase.
+fn token_set(text: &str) -> FxHashSet<String> {
+    text.split_whitespace().map(|t| t.to_lowercase()).collect()
+}
+
+fn jaccard(a: &FxHashSet<String>, b: &FxHashSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0; // two empty phrases are identical, not disjoint
+    }
+    let inter = a.iter().filter(|t| b.contains(*t)).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union.max(1) as f64
+}
+
+/// Scores every model's top-k diversity/redundancy (see
+/// [`TopkDiversity`]). Items with fewer than two predictions contribute
+/// nothing to the pairwise measures (there is no pair to compare) but
+/// still count toward the distinct-token ratio.
+pub fn topk_diversity(eval: &Evaluation) -> Vec<TopkDiversity> {
+    eval.models
+        .iter()
+        .map(|m| {
+            let mut diversity_sum = 0.0;
+            let mut diversity_items = 0usize;
+            let mut redundancy_sum = 0.0;
+            let mut redundancy_items = 0usize;
+            let mut distinct_sum = 0.0;
+            let mut distinct_items = 0usize;
+            for preds in &m.per_item {
+                if preds.is_empty() {
+                    continue;
+                }
+                let tokens: Vec<FxHashSet<String>> =
+                    preds.iter().map(|p| token_set(&p.text)).collect();
+                let total_tokens: usize = tokens.iter().map(FxHashSet::len).sum();
+                if total_tokens > 0 {
+                    let mut vocabulary: FxHashSet<&String> = FxHashSet::default();
+                    for set in &tokens {
+                        vocabulary.extend(set.iter());
+                    }
+                    distinct_sum += vocabulary.len() as f64 / total_tokens as f64;
+                    distinct_items += 1;
+                }
+                if tokens.len() < 2 {
+                    continue;
+                }
+                let mut pair_sum = 0.0;
+                let mut pairs = 0usize;
+                let mut marginal_sum = 0.0;
+                for i in 1..tokens.len() {
+                    let mut max_similarity = 0.0f64;
+                    for j in 0..i {
+                        let similarity = jaccard(&tokens[i], &tokens[j]);
+                        pair_sum += 1.0 - similarity;
+                        pairs += 1;
+                        max_similarity = max_similarity.max(similarity);
+                    }
+                    marginal_sum += max_similarity;
+                }
+                diversity_sum += pair_sum / pairs as f64;
+                diversity_items += 1;
+                redundancy_sum += marginal_sum / (tokens.len() - 1) as f64;
+                redundancy_items += 1;
+            }
+            let avg = |sum: f64, n: usize| if n == 0 { 0.0 } else { sum / n as f64 };
+            TopkDiversity {
+                model: m.name.clone(),
+                diversity: avg(diversity_sum, diversity_items),
+                redundancy: avg(redundancy_sum, redundancy_items),
+                distinct_token_ratio: avg(distinct_sum, distinct_items),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,5 +305,65 @@ mod tests {
         let eval = eval_fixture();
         let pr = precision_recall_vs(&eval, "nope", "B");
         assert_eq!(pr, PrScores { precision: 0.0, recall: 0.0 });
+    }
+
+    fn judged(text: &str) -> crate::harness::JudgedPrediction {
+        crate::harness::JudgedPrediction { text: text.into(), relevant: true, head: false }
+    }
+
+    fn diversity_eval(per_item: Vec<Vec<&str>>) -> Evaluation {
+        Evaluation {
+            items: (0..per_item.len() as u32).collect(),
+            models: vec![crate::harness::ModelOutcome {
+                name: "M".into(),
+                per_item: per_item
+                    .into_iter()
+                    .map(|preds| preds.into_iter().map(judged).collect())
+                    .collect(),
+            }],
+            head_threshold: HeadThreshold { min_search_count: 0 },
+        }
+    }
+
+    #[test]
+    fn disjoint_topk_scores_full_diversity_zero_redundancy() {
+        let eval = diversity_eval(vec![vec!["alpha one", "beta two", "gamma three"]]);
+        let scores = topk_diversity(&eval);
+        let m = &scores[0];
+        assert!((m.diversity - 1.0).abs() < 1e-12, "{m:?}");
+        assert!(m.redundancy.abs() < 1e-12, "{m:?}");
+        assert!((m.distinct_token_ratio - 1.0).abs() < 1e-12, "{m:?}");
+    }
+
+    #[test]
+    fn duplicate_topk_scores_zero_diversity_full_redundancy() {
+        let eval = diversity_eval(vec![vec!["solar panel", "solar panel", "solar panel"]]);
+        let scores = topk_diversity(&eval);
+        let m = &scores[0];
+        assert!(m.diversity.abs() < 1e-12, "{m:?}");
+        assert!((m.redundancy - 1.0).abs() < 1e-12, "{m:?}");
+        assert!((m.distinct_token_ratio - 2.0 / 6.0).abs() < 1e-12, "{m:?}");
+    }
+
+    #[test]
+    fn partial_overlap_is_between_the_extremes() {
+        // "solar panel" vs "solar panel kit": Jaccard 2/3.
+        let eval = diversity_eval(vec![vec!["solar panel", "solar panel kit"]]);
+        let m = &topk_diversity(&eval)[0];
+        assert!((m.diversity - 1.0 / 3.0).abs() < 1e-12, "{m:?}");
+        assert!((m.redundancy - 2.0 / 3.0).abs() < 1e-12, "{m:?}");
+        // 3 unique tokens over 5 emitted (2 + 3).
+        assert!((m.distinct_token_ratio - 3.0 / 5.0).abs() < 1e-12, "{m:?}");
+        // Tokenization is case-insensitive.
+        let upper = diversity_eval(vec![vec!["Solar Panel", "solar panel"]]);
+        assert!(topk_diversity(&upper)[0].diversity.abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_prediction_items_skip_pairwise_but_count_tokens() {
+        let eval = diversity_eval(vec![vec!["only one"], vec![]]);
+        let m = &topk_diversity(&eval)[0];
+        assert_eq!((m.diversity, m.redundancy), (0.0, 0.0));
+        assert!((m.distinct_token_ratio - 1.0).abs() < 1e-12);
     }
 }

@@ -1,0 +1,340 @@
+//! `BENCH_*.json` schema: parse, validate, and extract chartable numbers.
+//!
+//! Every recorded datapoint in the repo root follows one shape — five
+//! required top-level keys — so the report can render any of them and the
+//! suite can reject a malformed one before it lands:
+//!
+//! ```json
+//! {
+//!   "bench":   "trace_overhead",          // required, string
+//!   "date":    "2026-08-07",              // required, string
+//!   "machine": { ... },                   // required, object
+//!   "config":  { ... },                   // required, object
+//!   "results": { "elapsed": "111.6ms" }   // required, non-empty object
+//! }
+//! ```
+//!
+//! `results` comes in two shapes: a flat object of named values, or an
+//! array of row objects (one per scale/config arm — `buildbench` and
+//! friends). Array rows are flattened into `<row label>/<key>` result
+//! keys, the label being the row's first string-valued member.
+//!
+//! Result values are either bare numbers or unit-suffixed strings
+//! (`"111.615ms"`, `"86.011µs"`); [`leading_number`] extracts the numeric
+//! prefix best-effort so charts can scale bars without a unit registry.
+
+use graphex_server::json::{self, Json};
+use std::path::{Path, PathBuf};
+
+/// The five top-level keys every `BENCH_*.json` must carry.
+pub const REQUIRED_KEYS: [&str; 5] = ["bench", "date", "machine", "config", "results"];
+
+/// One result row: the key, the raw rendered value, and the numeric
+/// prefix when one exists.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub key: String,
+    pub raw: String,
+    pub value: Option<f64>,
+}
+
+/// One parsed + validated `BENCH_*.json`.
+#[derive(Debug, Clone)]
+pub struct BenchDoc {
+    /// File name the doc came from (for error messages and headings).
+    pub file: String,
+    pub bench: String,
+    pub description: String,
+    pub date: String,
+    /// Flattened `config` object, insertion order preserved.
+    pub config: Vec<(String, String)>,
+    /// Flattened `machine` object.
+    pub machine: Vec<(String, String)>,
+    pub results: Vec<BenchResult>,
+}
+
+impl BenchDoc {
+    /// Parses and validates one document. `file` is only used in error
+    /// messages and report headings.
+    pub fn parse(file: &str, text: &str) -> Result<Self, String> {
+        let doc = json::parse(text).map_err(|e| format!("{file}: not JSON: {e}"))?;
+        validate(file, &doc)?;
+        let results = result_rows(doc.get("results").expect("validated"));
+        Ok(Self {
+            file: file.to_string(),
+            bench: doc.get("bench").and_then(Json::as_str).expect("validated").to_string(),
+            description: doc
+                .get("description")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            date: doc.get("date").and_then(Json::as_str).expect("validated").to_string(),
+            config: flatten_obj(doc.get("config")),
+            machine: flatten_obj(doc.get("machine")),
+            results,
+        })
+    }
+}
+
+/// Checks the five required keys (and their types) without building a
+/// [`BenchDoc`]; the suite's schema test calls this over every file.
+pub fn validate(file: &str, doc: &Json) -> Result<(), String> {
+    for key in REQUIRED_KEYS {
+        if doc.get(key).is_none() {
+            return Err(format!("{file}: missing required top-level key {key:?}"));
+        }
+    }
+    for key in ["bench", "date"] {
+        if doc.get(key).and_then(Json::as_str).is_none() {
+            return Err(format!("{file}: {key:?} must be a string"));
+        }
+    }
+    for key in ["machine", "config"] {
+        if doc.get(key).and_then(Json::as_obj).is_none() {
+            return Err(format!("{file}: {key:?} must be an object"));
+        }
+    }
+    match doc.get("results").expect("checked above") {
+        Json::Obj(members) if !members.is_empty() => Ok(()),
+        Json::Arr(rows) if !rows.is_empty() => {
+            if rows.iter().all(|row| matches!(row, Json::Obj(m) if !m.is_empty())) {
+                Ok(())
+            } else {
+                Err(format!("{file}: \"results\" rows must be non-empty objects"))
+            }
+        }
+        Json::Obj(_) | Json::Arr(_) => Err(format!("{file}: \"results\" must not be empty")),
+        _ => Err(format!("{file}: \"results\" must be an object or an array of row objects")),
+    }
+}
+
+/// Flattens either `results` shape into chartable rows. Array rows get a
+/// `<label>/` key prefix from the row's first string-valued member
+/// (falling back to the row index), which is dropped from the rows
+/// themselves — `{"scale": "cat1", "ms": 54}` → `cat1/ms = 54`.
+fn result_rows(results: &Json) -> Vec<BenchResult> {
+    let mut out = Vec::new();
+    flatten_results("", results, &mut out);
+    out
+}
+
+/// Recursive flattener for the `results` value. Objects contribute their
+/// key as a path segment; arrays of row objects are labeled by each
+/// row's first string-valued member (excluded from the row, falling back
+/// to the index); arrays of scalars fan out into indexed keys. Leaves
+/// become one [`BenchResult`] each.
+fn flatten_results(prefix: &str, value: &Json, out: &mut Vec<BenchResult>) {
+    match value {
+        Json::Obj(members) => {
+            for (key, value) in members {
+                flatten_results(&format!("{prefix}{key}/"), value, out);
+            }
+        }
+        Json::Arr(items) if items.iter().all(|item| item.as_obj().is_some()) => {
+            for (i, item) in items.iter().enumerate() {
+                let members = item.as_obj().expect("checked by guard");
+                // A label is a string member that is not itself a
+                // measurement — "cat1" labels, "839µs" does not.
+                let label = members.iter().find_map(|(k, v)| {
+                    v.as_str()
+                        .filter(|s| leading_number(s).is_none())
+                        .map(|label| (k.clone(), label.to_string()))
+                });
+                let (label_key, row_prefix) = match label {
+                    Some((key, label)) => (Some(key), format!("{prefix}{label}/")),
+                    None => (None, format!("{prefix}{i}/")),
+                };
+                for (key, value) in
+                    members.iter().filter(|(k, _)| Some(k) != label_key.as_ref())
+                {
+                    flatten_results(&format!("{row_prefix}{key}/"), value, out);
+                }
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                flatten_results(&format!("{prefix}{i}/"), item, out);
+            }
+        }
+        scalar => {
+            let raw = scalar_text(scalar);
+            let value = scalar.as_f64().or_else(|| leading_number(&raw));
+            out.push(BenchResult {
+                key: prefix.trim_end_matches('/').to_string(),
+                raw,
+                value,
+            });
+        }
+    }
+}
+
+/// Numeric prefix of a unit-suffixed value: `"111.615ms"` → `111.615`.
+/// Returns `None` when the value does not start with a number.
+pub fn leading_number(raw: &str) -> Option<f64> {
+    let raw = raw.trim();
+    let end = raw
+        .char_indices()
+        .take_while(|(i, c)| c.is_ascii_digit() || *c == '.' || *c == '-' && *i == 0)
+        .map(|(i, c)| i + c.len_utf8())
+        .last()?;
+    raw[..end].parse().ok()
+}
+
+/// `BENCH_*.json` files directly under `dir`, sorted by name.
+pub fn discover_bench_files(dir: &Path) -> Vec<PathBuf> {
+    let mut found: Vec<PathBuf> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|entry| entry.path())
+        .filter(|path| {
+            path.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    found.sort();
+    found
+}
+
+fn scalar_text(value: &Json) -> String {
+    match value {
+        Json::Str(s) => s.clone(),
+        other => other.render(),
+    }
+}
+
+fn flatten_obj(obj: Option<&Json>) -> Vec<(String, String)> {
+    obj.and_then(Json::as_obj)
+        .map(|fields| fields.iter().map(|(k, v)| (k.clone(), scalar_text(v))).collect())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{
+        "bench": "demo", "description": "d", "date": "2026-08-07",
+        "machine": {"os": "linux"},
+        "config": {"requests": 100},
+        "results": {"elapsed": "12.5ms", "throughput_per_s": 4000, "p99": "86.011µs"}
+    }"#;
+
+    #[test]
+    fn parses_good_doc() {
+        let doc = BenchDoc::parse("BENCH_demo.json", GOOD).unwrap();
+        assert_eq!(doc.bench, "demo");
+        assert_eq!(doc.date, "2026-08-07");
+        assert_eq!(doc.results.len(), 3);
+        let elapsed = doc.results.iter().find(|r| r.key == "elapsed").unwrap();
+        assert_eq!(elapsed.raw, "12.5ms");
+        assert_eq!(elapsed.value, Some(12.5));
+        let tput = doc.results.iter().find(|r| r.key == "throughput_per_s").unwrap();
+        assert_eq!(tput.value, Some(4000.0));
+        let p99 = doc.results.iter().find(|r| r.key == "p99").unwrap();
+        assert_eq!(p99.value, Some(86.011));
+    }
+
+    #[test]
+    fn rejects_missing_and_mistyped_keys() {
+        for key in REQUIRED_KEYS {
+            let doc = json::parse(GOOD).unwrap();
+            let Json::Obj(fields) = doc else { panic!("obj") };
+            let stripped = Json::Obj(fields.into_iter().filter(|(k, _)| k != key).collect());
+            let err = validate("f", &stripped).unwrap_err();
+            assert!(err.contains(key), "{err}");
+        }
+        let err = BenchDoc::parse("f", r#"{"bench": 7, "date": "d",
+            "machine": {}, "config": {}, "results": {"x": 1}}"#)
+            .unwrap_err();
+        assert!(err.contains("bench"), "{err}");
+        let err = BenchDoc::parse("f", r#"{"bench": "b", "date": "d",
+            "machine": {}, "config": {}, "results": {}}"#)
+            .unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+        assert!(BenchDoc::parse("f", "not json").is_err());
+    }
+
+    #[test]
+    fn parses_array_results_with_row_labels() {
+        let doc = BenchDoc::parse(
+            "BENCH_rows.json",
+            r#"{"bench": "rows", "date": "2026-08-07", "machine": {}, "config": {},
+                "results": [
+                  {"scale": "cat1", "sequential_ms": 54.3, "snapshot_bytes": 100},
+                  {"scale": "cat2", "sequential_ms": 15.1, "snapshot_bytes": 50},
+                  {"n": 1, "ms": 2.0}
+                ]}"#,
+        )
+        .unwrap();
+        let keys: Vec<&str> = doc.results.iter().map(|r| r.key.as_str()).collect();
+        assert_eq!(
+            keys,
+            ["cat1/sequential_ms", "cat1/snapshot_bytes", "cat2/sequential_ms",
+             "cat2/snapshot_bytes", "2/n", "2/ms"]
+        );
+        assert_eq!(doc.results[0].value, Some(54.3));
+        let err = BenchDoc::parse(
+            "f",
+            r#"{"bench": "b", "date": "d", "machine": {}, "config": {},
+                "results": [{}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("non-empty objects"), "{err}");
+        let err = BenchDoc::parse(
+            "f",
+            r#"{"bench": "b", "date": "d", "machine": {}, "config": {}, "results": 3}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("object or an array"), "{err}");
+    }
+
+    #[test]
+    fn flattens_nested_arrays_of_row_objects() {
+        // tenancybench shape: an object whose members are arrays of row
+        // objects with no string-valued label member (index labels), one
+        // of which carries an array of repeated measurements.
+        let doc = BenchDoc::parse(
+            "BENCH_nested.json",
+            r#"{"bench": "nested", "date": "2026-08-07", "machine": {}, "config": {},
+                "results": {
+                  "mmap": [{"tenants": 1, "cold_start": "839µs"},
+                           {"tenants": 4, "cold_start": "1.2ms"}],
+                  "read_path": [{"depth_pct": 0, "per_load": ["27µs", "28µs"]}]
+                }}"#,
+        )
+        .unwrap();
+        let keys: Vec<&str> = doc.results.iter().map(|r| r.key.as_str()).collect();
+        assert_eq!(
+            keys,
+            ["mmap/0/tenants", "mmap/0/cold_start", "mmap/1/tenants", "mmap/1/cold_start",
+             "read_path/0/depth_pct", "read_path/0/per_load/0", "read_path/0/per_load/1"]
+        );
+        assert!(doc.results.iter().all(|r| r.value.is_some()), "{:?}", doc.results);
+    }
+
+    #[test]
+    fn leading_number_edge_cases() {
+        assert_eq!(leading_number("111.615ms"), Some(111.615));
+        assert_eq!(leading_number("-3.5x"), Some(-3.5));
+        assert_eq!(leading_number("42"), Some(42.0));
+        assert_eq!(leading_number("µs42"), None);
+        assert_eq!(leading_number(""), None);
+    }
+
+    #[test]
+    fn discovers_only_bench_json() {
+        let dir = std::env::temp_dir().join(format!("graphex-report-disc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("BENCH_b.json"), GOOD).unwrap();
+        std::fs::write(dir.join("BENCH_a.json"), GOOD).unwrap();
+        std::fs::write(dir.join("README.md"), "x").unwrap();
+        std::fs::write(dir.join("BENCH_c.txt"), "x").unwrap();
+        let found = discover_bench_files(&dir);
+        let names: Vec<_> =
+            found.iter().map(|p| p.file_name().unwrap().to_str().unwrap()).collect();
+        assert_eq!(names, ["BENCH_a.json", "BENCH_b.json"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

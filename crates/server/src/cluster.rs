@@ -43,6 +43,12 @@ impl LocalBackend {
     pub fn metrics(&self) -> &crate::metrics::HttpMetrics {
         self.server.metrics()
     }
+
+    /// Takes one history sample on this backend immediately; no-op when
+    /// history is disabled.
+    pub fn sample_history_now(&self) {
+        self.server.sample_history_now();
+    }
 }
 
 /// Errors from booting or rolling a local cluster.
@@ -143,6 +149,15 @@ impl LocalCluster {
     /// The backends, indexed by shard.
     pub fn backends(&self) -> &[LocalBackend] {
         &self.backends
+    }
+
+    /// Takes one history sample on the router and every backend at once
+    /// (tests and smoke gates don't wait out the sampler interval).
+    pub fn sample_history_now(&self) {
+        self.router.sample_history_now();
+        for backend in &self.backends {
+            backend.sample_history_now();
+        }
     }
 
     /// Total 5xx responses across the router and every backend — the

@@ -72,6 +72,14 @@ impl Json {
         }
     }
 
+    /// Object members in document order, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
     /// Convenience constructor for object literals.
     pub fn obj(members: Vec<(&str, Json)>) -> Json {
         Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())

@@ -56,6 +56,7 @@
 pub mod chaos;
 pub mod client;
 pub mod cluster;
+pub mod history;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -68,6 +69,7 @@ pub mod trace;
 pub use chaos::{ChaosBackend, ChaosMode};
 pub use client::{HttpClient, Response};
 pub use cluster::{ClusterConfig, ClusterError, LocalBackend, LocalCluster, ShardPayload};
+pub use history::{sparkline, HistoryConfig, HistorySample, MetricsHistory};
 pub use json::Json;
 pub use metrics::{Endpoint, HttpMetrics, LatencyHistogram};
 pub use router::{

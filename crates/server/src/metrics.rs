@@ -113,6 +113,8 @@ pub enum Endpoint {
     Metrics,
     /// `GET /debug/traces`: the flight-recorder dump.
     Traces,
+    /// `GET /debug/history`: the telemetry-history ring dump.
+    History,
     /// Unknown paths/methods (404/405/parse errors).
     Other,
 }
@@ -127,6 +129,7 @@ impl Endpoint {
             Endpoint::Statusz => "statusz",
             Endpoint::Metrics => "metrics",
             Endpoint::Traces => "traces",
+            Endpoint::History => "history",
             Endpoint::Other => "other",
         }
     }

@@ -39,6 +39,7 @@
 //! exactly one thread runs the half-open probe when the backoff expires.
 
 use crate::client::HttpClient;
+use crate::history::{HistoryConfig, MetricsHistory};
 use crate::http::{self, ReadError, Request};
 use crate::json::{self, Json};
 use crate::metrics::{Endpoint, HttpMetrics};
@@ -97,6 +98,8 @@ pub struct RouterConfig {
     /// router's traces embed per-backend breakdowns parsed from the
     /// sub-responses.
     pub trace: TraceConfig,
+    /// Telemetry history (periodic counter samples, `/debug/history`).
+    pub history: HistoryConfig,
 }
 
 impl Default for RouterConfig {
@@ -114,6 +117,7 @@ impl Default for RouterConfig {
             backoff_max: Duration::from_secs(5),
             max_response_bytes: 8 << 20,
             trace: TraceConfig::default(),
+            history: HistoryConfig::default(),
         }
     }
 }
@@ -291,6 +295,8 @@ struct Inner {
     degraded: AtomicU64,
     /// Trace recorder (None when tracing is disabled).
     traces: Option<Arc<TraceRecorder>>,
+    /// Telemetry-history ring (None when history is disabled).
+    history: Option<Arc<MetricsHistory>>,
     /// Router-wide half-open probe counter; feeds each backend's
     /// `last_probe_tick`.
     probe_ticks: AtomicU64,
@@ -306,6 +312,7 @@ pub struct RouterHandle {
     inner: Arc<Inner>,
     acceptor: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    sampler: Option<std::thread::JoinHandle<()>>,
 }
 
 /// Binds and starts the router over a validated shard map.
@@ -315,6 +322,8 @@ pub fn start_router(config: RouterConfig, map: ShardMap) -> std::io::Result<Rout
     let workers = config.workers.max(1);
     let backends = map.backends().iter().map(|a| Backend::new(a.clone())).collect();
     let traces = config.trace.enabled.then(|| Arc::new(TraceRecorder::new(config.trace.clone())));
+    let history =
+        config.history.enabled.then(|| Arc::new(MetricsHistory::new(config.history.clone())));
     let inner = Arc::new(Inner {
         map,
         backends,
@@ -325,6 +334,7 @@ pub fn start_router(config: RouterConfig, map: ShardMap) -> std::io::Result<Rout
         fanout: AtomicU64::new(0),
         degraded: AtomicU64::new(0),
         traces,
+        history,
         probe_ticks: AtomicU64::new(0),
         config,
     });
@@ -343,7 +353,75 @@ pub fn start_router(config: RouterConfig, map: ShardMap) -> std::io::Result<Rout
                 .spawn(move || worker_loop(&inner))
         })
         .collect::<std::io::Result<Vec<_>>>()?;
-    Ok(RouterHandle { addr, inner, acceptor: Some(acceptor), workers: worker_handles })
+    let sampler = match &inner.history {
+        Some(_) => {
+            let inner = Arc::clone(&inner);
+            Some(
+                std::thread::Builder::new()
+                    .name("graphex-route-history".into())
+                    .spawn(move || sampler_loop(&inner))?,
+            )
+        }
+        None => None,
+    };
+    Ok(RouterHandle { addr, inner, acceptor: Some(acceptor), workers: worker_handles, sampler })
+}
+
+/// The router-side history sampler (same cadence contract as the
+/// backend's: short sleep slices so shutdown joins promptly).
+fn sampler_loop(inner: &Inner) {
+    let interval = inner.config.history.interval;
+    let slice = interval.min(Duration::from_millis(25));
+    let mut last = Instant::now();
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(slice);
+        if last.elapsed() >= interval {
+            sample_history(inner);
+            last = Instant::now();
+        }
+    }
+}
+
+/// One router history sample: HTTP-layer counters, fan-out counters,
+/// per-backend call/failure/health series, and per-stage percentiles.
+fn sample_history(inner: &Inner) {
+    let Some(history) = &inner.history else {
+        return;
+    };
+    let mut values: Vec<(String, f64)> = Vec::with_capacity(32);
+    let mut push = |key: String, v: f64| values.push((key, v));
+    let http = &inner.metrics;
+    push("http/requests".into(), http.infer_latency.count() as f64);
+    if http.infer_latency.count() > 0 {
+        push("http/p50_us".into(), http.infer_latency.quantile(0.50) * 1e6);
+        push("http/p99_us".into(), http.infer_latency.quantile(0.99) * 1e6);
+    }
+    push("http/accepted".into(), http.connections_accepted.load(Ordering::Relaxed) as f64);
+    push("http/shed".into(), http.connections_shed.load(Ordering::Relaxed) as f64);
+    push("queue/depth".into(), inner.queue.len() as f64);
+    push("router/requests_in".into(), inner.requests_in.load(Ordering::Relaxed) as f64);
+    push("router/fanout".into(), inner.fanout.load(Ordering::Relaxed) as f64);
+    push("router/degraded".into(), inner.degraded.load(Ordering::Relaxed) as f64);
+    let mut healthy = 0u64;
+    for (shard, backend) in inner.backends.iter().enumerate() {
+        let is_healthy = matches!(&*backend.lock_health(), Health::Healthy { .. });
+        healthy += u64::from(is_healthy);
+        push(format!("backend/{shard}/calls"), backend.calls.load(Ordering::Relaxed) as f64);
+        push(
+            format!("backend/{shard}/failures"),
+            backend.failures.load(Ordering::Relaxed) as f64,
+        );
+        push(format!("backend/{shard}/healthy"), if is_healthy { 1.0 } else { 0.0 });
+    }
+    push("router/backends_healthy".into(), healthy as f64);
+    if let Some(recorder) = &inner.traces {
+        for (stage, count, p50, p99) in recorder.stage_summaries() {
+            push(format!("stage/{stage}/count"), count as f64);
+            push(format!("stage/{stage}/p50_us"), p50 * 1e6);
+            push(format!("stage/{stage}/p99_us"), p99 * 1e6);
+        }
+    }
+    history.record(values);
 }
 
 impl RouterHandle {
@@ -373,6 +451,17 @@ impl RouterHandle {
         self.inner.traces.as_ref()
     }
 
+    /// The telemetry-history ring, or `None` when history is disabled.
+    pub fn history(&self) -> Option<&Arc<MetricsHistory>> {
+        self.inner.history.as_ref()
+    }
+
+    /// Takes one history sample immediately (tests and report capture
+    /// don't wait out the interval). No-op when history is disabled.
+    pub fn sample_history_now(&self) {
+        sample_history(&self.inner);
+    }
+
     /// Graceful shutdown: stop accepting, drain admitted connections,
     /// join every thread.
     pub fn shutdown(mut self) {
@@ -388,6 +477,9 @@ impl RouterHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        if let Some(sampler) = self.sampler.take() {
+            let _ = sampler.join();
+        }
         for backend in &self.inner.backends {
             backend.drop_pool();
         }
@@ -396,7 +488,7 @@ impl RouterHandle {
 
 impl Drop for RouterHandle {
     fn drop(&mut self) {
-        if self.acceptor.is_some() || !self.workers.is_empty() {
+        if self.acceptor.is_some() || !self.workers.is_empty() || self.sampler.is_some() {
             self.shutdown_inner();
         }
     }
@@ -554,8 +646,18 @@ fn route(request: &Request, started: Instant, inner: &Inner) -> RoutedResponse {
             ),
             None => error_response(Endpoint::Traces, 404, "tracing is disabled"),
         },
+        ("GET", "/debug/history") => match &inner.history {
+            Some(history) => RoutedResponse::new(
+                Endpoint::History,
+                200,
+                "application/json",
+                history.render_debug(request.query.as_deref()),
+            ),
+            None => error_response(Endpoint::History, 404, "history is disabled"),
+        },
         ("POST", "/v1/infer") => infer(request, started, inner),
-        (_, "/healthz" | "/statusz" | "/metrics" | "/debug/traces" | "/v1/infer") => {
+        (_, "/healthz" | "/statusz" | "/metrics" | "/debug/traces" | "/debug/history"
+            | "/v1/infer") => {
             error_response(Endpoint::Other, 405, "method not allowed")
         }
         _ => error_response(Endpoint::Other, 404, format!("no route for {}", request.path)),
@@ -588,6 +690,8 @@ fn statusz(inner: &Inner) -> Json {
         .collect();
     let trace_block =
         inner.traces.as_ref().map_or(Json::Null, |recorder| recorder.statusz_json());
+    let history_block =
+        inner.history.as_ref().map_or(Json::Null, |history| history.statusz_json());
     Json::obj(vec![
         ("role", Json::str("router")),
         ("shards", Json::uint(u64::from(inner.map.shards()))),
@@ -596,6 +700,7 @@ fn statusz(inner: &Inner) -> Json {
         ("degraded", Json::uint(inner.degraded.load(Ordering::Relaxed))),
         ("latency", latency_json(&inner.metrics)),
         ("trace", trace_block),
+        ("history", history_block),
         ("queue_depth", Json::uint(inner.queue.len() as u64)),
         ("backends", Json::Arr(backends)),
     ])

@@ -22,6 +22,7 @@
 //! [`ServerHandle::shutdown`] is graceful: stop accepting, drain every
 //! admitted connection, answer in-flight requests, then join all threads.
 
+use crate::history::{HistoryConfig, MetricsHistory};
 use crate::http::{self, ReadError, Request};
 use crate::json::{self, Json};
 use crate::metrics::{render_overlay_families, Endpoint, HttpMetrics};
@@ -72,6 +73,9 @@ pub struct ServerConfig {
     /// Flight-recorder knobs; `trace.enabled = false` turns the whole
     /// trace layer off (no ids, no rings, no clock reads).
     pub trace: TraceConfig,
+    /// Telemetry-history knobs; `history.enabled = false` spawns no
+    /// sampler thread and 404s `/debug/history`.
+    pub history: HistoryConfig,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +88,7 @@ impl Default for ServerConfig {
             deadline: Some(Duration::from_secs(2)),
             keep_alive_timeout: Duration::from_secs(5),
             trace: TraceConfig::default(),
+            history: HistoryConfig::default(),
         }
     }
 }
@@ -122,6 +127,8 @@ struct Inner {
     config: ServerConfig,
     /// The flight recorder; `None` when tracing is disabled.
     traces: Option<Arc<TraceRecorder>>,
+    /// The telemetry-history ring; `None` when history is disabled.
+    history: Option<Arc<MetricsHistory>>,
 }
 
 /// A running server; dropping it shuts down gracefully.
@@ -130,6 +137,7 @@ pub struct ServerHandle {
     inner: Arc<Inner>,
     acceptor: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    sampler: Option<std::thread::JoinHandle<()>>,
 }
 
 /// Binds and starts the frontend over a shared [`ServingApi`].
@@ -154,6 +162,10 @@ fn start_backend(config: ServerConfig, backend: Backend) -> std::io::Result<Serv
         .trace
         .enabled
         .then(|| Arc::new(TraceRecorder::new(config.trace.clone())));
+    let history = config
+        .history
+        .enabled
+        .then(|| Arc::new(MetricsHistory::new(config.history.clone())));
     let inner = Arc::new(Inner {
         backend,
         metrics: HttpMetrics::default(),
@@ -161,6 +173,7 @@ fn start_backend(config: ServerConfig, backend: Backend) -> std::io::Result<Serv
         shutdown: AtomicBool::new(false),
         config,
         traces,
+        history,
     });
 
     let acceptor = {
@@ -177,8 +190,119 @@ fn start_backend(config: ServerConfig, backend: Backend) -> std::io::Result<Serv
                 .spawn(move || worker_loop(&inner))
         })
         .collect::<std::io::Result<Vec<_>>>()?;
+    let sampler = match &inner.history {
+        Some(_) => {
+            let inner = Arc::clone(&inner);
+            Some(
+                std::thread::Builder::new()
+                    .name("graphex-history".into())
+                    .spawn(move || sampler_loop(&inner))?,
+            )
+        }
+        None => None,
+    };
 
-    Ok(ServerHandle { addr, inner, acceptor: Some(acceptor), workers: worker_handles })
+    Ok(ServerHandle { addr, inner, acceptor: Some(acceptor), workers: worker_handles, sampler })
+}
+
+/// The history sampler: one sample per configured interval until
+/// shutdown. Sleeps in short slices so shutdown joins promptly even
+/// with a multi-second interval.
+fn sampler_loop(inner: &Inner) {
+    let interval = inner.config.history.interval;
+    let slice = interval.min(Duration::from_millis(25));
+    let mut last = Instant::now();
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(slice);
+        if last.elapsed() >= interval {
+            sample_history(inner);
+            last = Instant::now();
+        }
+    }
+}
+
+/// Collects one history sample from the backend counters, the HTTP
+/// metrics, and (when tracing is on) the per-stage histograms, and
+/// records it into the ring. All reads are the same relaxed atomic
+/// loads `/metrics` performs — the request path is never touched.
+fn sample_history(inner: &Inner) {
+    let Some(history) = &inner.history else {
+        return;
+    };
+    let mut values: Vec<(String, f64)> = Vec::with_capacity(48);
+    let push = |values: &mut Vec<(String, f64)>, key: &str, v: f64| {
+        values.push((key.to_string(), v));
+    };
+    // HTTP layer: end-to-end latency histogram plus connection counters.
+    let http = &inner.metrics;
+    push(&mut values, "http/requests", http.infer_latency.count() as f64);
+    if http.infer_latency.count() > 0 {
+        push(&mut values, "http/p50_us", http.infer_latency.quantile(0.50) * 1e6);
+        push(&mut values, "http/p99_us", http.infer_latency.quantile(0.99) * 1e6);
+    }
+    push(
+        &mut values,
+        "http/accepted",
+        http.connections_accepted.load(Ordering::Relaxed) as f64,
+    );
+    push(&mut values, "http/shed", http.connections_shed.load(Ordering::Relaxed) as f64);
+    push(&mut values, "queue/depth", inner.queue.len() as f64);
+    // Serving layer: cumulative counters (monotone across hot-swaps; the
+    // fleet folds evicted tenants' counters, so these survive eviction).
+    match &inner.backend {
+        Backend::Single(api) => {
+            let stats = api.stats();
+            serve_series(&mut values, "", &stats);
+            if let Some(status) = api.overlay_status() {
+                push(&mut values, "overlay/depth", status.depth as f64);
+                push(&mut values, "overlay/seq", status.seq as f64);
+            }
+        }
+        Backend::Fleet(fleet) => {
+            let tenants = fleet.list();
+            push(
+                &mut values,
+                "fleet/resident",
+                tenants.iter().filter(|t| t.resident).count() as f64,
+            );
+            push(
+                &mut values,
+                "fleet/resident_bytes",
+                tenants.iter().map(|t| t.resident_bytes).sum::<u64>() as f64,
+            );
+            for t in &tenants {
+                serve_series(&mut values, &format!("tenant/{}/", t.name), &t.stats);
+                push(
+                    &mut values,
+                    &format!("tenant/{}/resident", t.name),
+                    if t.resident { 1.0 } else { 0.0 },
+                );
+            }
+        }
+    }
+    // Trace layer: per-stage latency percentiles.
+    if let Some(recorder) = &inner.traces {
+        for (stage, count, p50, p99) in recorder.stage_summaries() {
+            push(&mut values, &format!("stage/{stage}/count"), count as f64);
+            push(&mut values, &format!("stage/{stage}/p50_us"), p50 * 1e6);
+            push(&mut values, &format!("stage/{stage}/p99_us"), p99 * 1e6);
+        }
+    }
+    history.record(values);
+}
+
+/// The per-[`ServeStats`] series (shared by single mode, with an empty
+/// prefix, and fleet mode, prefixed `tenant/<name>/`).
+fn serve_series(values: &mut Vec<(String, f64)>, prefix: &str, stats: &graphex_serving::ServeStats) {
+    let mut push = |key: &str, v: f64| values.push((format!("{prefix}{key}"), v));
+    push("serve/requests", stats.outcomes.total() as f64);
+    push("serve/store_hits", stats.store_hits as f64);
+    push("serve/read_throughs", stats.read_throughs as f64);
+    push("serve/shed", stats.shed as f64);
+    push("serve/deadline_exceeded", stats.deadline_exceeded as f64);
+    push("serve/in_flight", stats.in_flight as f64);
+    push("model/snapshot_version", stats.snapshot_version as f64);
+    push("model/swaps", stats.model_swaps as f64);
 }
 
 impl ServerHandle {
@@ -215,6 +339,18 @@ impl ServerHandle {
         self.inner.traces.as_ref()
     }
 
+    /// The telemetry-history ring, or `None` when history is disabled.
+    pub fn history(&self) -> Option<&Arc<MetricsHistory>> {
+        self.inner.history.as_ref()
+    }
+
+    /// Takes one history sample immediately (in addition to the periodic
+    /// sampler), so tests and report capture don't have to wait out the
+    /// interval. No-op when history is disabled.
+    pub fn sample_history_now(&self) {
+        sample_history(&self.inner);
+    }
+
     /// Graceful shutdown: stop accepting, drain admitted connections,
     /// finish in-flight requests, join every thread.
     pub fn shutdown(mut self) {
@@ -232,12 +368,15 @@ impl ServerHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        if let Some(sampler) = self.sampler.take() {
+            let _ = sampler.join();
+        }
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.acceptor.is_some() || !self.workers.is_empty() {
+        if self.acceptor.is_some() || !self.workers.is_empty() || self.sampler.is_some() {
             self.shutdown_inner();
         }
     }
@@ -460,6 +599,15 @@ fn route(request: &Request, started: Instant, queue_wait: Duration, inner: &Inne
             ),
             None => Routed::error(Endpoint::Traces, 404, "tracing is disabled"),
         },
+        ("GET", "/debug/history") => match &inner.history {
+            Some(history) => Routed::new(
+                Endpoint::History,
+                200,
+                "application/json",
+                history.render_debug(request.query.as_deref()),
+            ),
+            None => Routed::error(Endpoint::History, 404, "history is disabled"),
+        },
         ("POST", "/v1/infer") => infer(request, started, queue_wait, inner, None),
         ("POST", path) if tenant_path(path).is_some() => {
             infer(request, started, queue_wait, inner, tenant_path(path))
@@ -476,7 +624,7 @@ fn route(request: &Request, started: Instant, queue_wait: Duration, inner: &Inne
         ("POST", path) if tenant_action(path, "overlay/drain").is_some() => {
             overlay_drain(request, inner, tenant_action(path, "overlay/drain"))
         }
-        (_, "/healthz" | "/statusz" | "/metrics" | "/debug/traces") => {
+        (_, "/healthz" | "/statusz" | "/metrics" | "/debug/traces" | "/debug/history") => {
             let mut routed = Routed::error(Endpoint::Other, 405, "method not allowed");
             routed.extra_headers.push(("Allow", "GET".into()));
             routed
@@ -536,6 +684,15 @@ fn trace_block(inner: &Inner) -> Json {
     }
 }
 
+/// The `/statusz` history block ([`MetricsHistory::statusz_json`]), or
+/// `null` when history is disabled.
+fn history_block(inner: &Inner) -> Json {
+    match &inner.history {
+        Some(history) => history.statusz_json(),
+        None => Json::Null,
+    }
+}
+
 /// The `/statusz` shape of one [`OverlayStatus`] snapshot (shared by
 /// the single-mode top-level object and the fleet table rows).
 fn overlay_status_json(status: &OverlayStatus) -> Json {
@@ -587,6 +744,7 @@ fn statusz_single(api: &ServingApi, inner: &Inner) -> Json {
         ),
         ("latency", latency_json(&inner.metrics)),
         ("trace", trace_block(inner)),
+        ("history", history_block(inner)),
         ("queue_depth", Json::uint(inner.queue.len() as u64)),
         ("workers", Json::uint(inner.config.workers as u64)),
     ])
@@ -642,6 +800,7 @@ fn statusz_fleet(fleet: &TenantFleet, inner: &Inner) -> Json {
         ("tenants", Json::Arr(rows)),
         ("latency", latency_json(&inner.metrics)),
         ("trace", trace_block(inner)),
+        ("history", history_block(inner)),
         ("queue_depth", Json::uint(inner.queue.len() as u64)),
         ("workers", Json::uint(inner.config.workers as u64)),
     ])
@@ -1152,6 +1311,7 @@ mod tests {
             deadline: None,
             keep_alive_timeout: Duration::from_secs(2),
             trace: TraceConfig::default(),
+            history: HistoryConfig::default(),
         }
     }
 

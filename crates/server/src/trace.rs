@@ -349,24 +349,44 @@ impl TraceRecorder {
 
     /// The `GET /debug/traces` body. Query grammar: `slow` selects the
     /// slow ring, `min_us=N` keeps traces at least that long end-to-end,
-    /// `limit=N` caps the count (newest first).
+    /// `stage=<name>` keeps traces carrying a span of that stage (own or
+    /// embedded backend spans — so a router waterfall query can target
+    /// one hot stage), `limit=N` caps the count (newest first).
     pub fn render_debug(&self, query: Option<&str>) -> String {
         let mut slow = false;
         let mut min_us = 0u64;
         let mut limit = usize::MAX;
+        let mut stage: Option<Stage> = None;
+        let mut stage_raw = String::new();
         for part in query.unwrap_or("").split('&').filter(|p| !p.is_empty()) {
             let (key, value) = part.split_once('=').unwrap_or((part, ""));
             match key {
                 "slow" => slow = value.is_empty() || value == "1" || value == "true",
                 "min_us" => min_us = value.parse().unwrap_or(0),
                 "limit" => limit = value.parse().unwrap_or(usize::MAX),
+                "stage" => {
+                    stage = Stage::from_name(value);
+                    stage_raw = value.to_string();
+                }
                 _ => {}
             }
         }
+        // An unknown stage name filters everything (an empty, honest
+        // answer) rather than silently ignoring the filter.
+        let unknown_stage = !stage_raw.is_empty() && stage.is_none();
         let traces: Vec<Json> = self
             .recent(slow)
             .into_iter()
             .filter(|t| t.total_nanos >= min_us.saturating_mul(1000))
+            .filter(|t| match stage {
+                None => !unknown_stage,
+                Some(stage) => {
+                    t.spans.iter().any(|s| s.stage == stage)
+                        || t.backends
+                            .iter()
+                            .any(|b| b.spans.iter().any(|s| s.stage == stage))
+                }
+            })
             .take(limit)
             .map(|t| t.to_json())
             .collect();
@@ -418,6 +438,22 @@ impl TraceRecorder {
             ),
             ("stages", Json::obj(stages)),
         ])
+    }
+
+    /// Per-stage `(name, count, p50 secs, p99 secs)` summaries for every
+    /// stage that has recorded at least one span — what the history
+    /// sampler snapshots into its ring each tick.
+    pub fn stage_summaries(&self) -> Vec<(&'static str, u64, f64, f64)> {
+        Stage::ALL
+            .iter()
+            .filter_map(|&stage| {
+                let hist = &self.stage_hist[stage.index()];
+                let count = hist.count();
+                (count > 0).then(|| {
+                    (stage.name(), count, hist.quantile(0.50), hist.quantile(0.99))
+                })
+            })
+            .collect()
     }
 
     /// Appends the trace metric families to a `/metrics` exposition: the

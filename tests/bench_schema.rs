@@ -1,0 +1,64 @@
+//! Every recorded `BENCH_*.json` in the repo root must parse against the
+//! shared schema (`graphex_report::bench`): the five required top-level
+//! keys, typed correctly, with a non-empty results object. A bench bin
+//! that drifts its output shape fails here before the report renders a
+//! broken page.
+
+use graphex_report::{discover_bench_files, BenchDoc};
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    // This test is a target of crates/suite; the repo root is two up.
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn every_recorded_bench_document_matches_the_schema() {
+    let files = discover_bench_files(repo_root());
+    assert!(
+        files.len() >= 8,
+        "expected the repo's recorded BENCH_*.json set, found {}: {files:?}",
+        files.len()
+    );
+    for path in files {
+        let name = path.file_name().unwrap().to_str().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = BenchDoc::parse(name, &text)
+            .unwrap_or_else(|e| panic!("schema violation: {e}"));
+        assert!(!doc.bench.is_empty(), "{name}: empty bench id");
+        assert!(!doc.results.is_empty(), "{name}: no results");
+        // Each doc must carry at least one numeric (chartable) result.
+        assert!(
+            doc.results.iter().any(|r| r.value.is_some()),
+            "{name}: no numeric result values"
+        );
+        // Dates are YYYY-MM-DD (bench bins stamp via --date).
+        assert!(
+            doc.date.len() == 10 && doc.date.as_bytes()[4] == b'-',
+            "{name}: date {:?} is not YYYY-MM-DD",
+            doc.date
+        );
+    }
+}
+
+#[test]
+fn the_full_bench_set_renders_into_one_self_contained_page() {
+    let docs: Vec<BenchDoc> = discover_bench_files(repo_root())
+        .iter()
+        .map(|path| {
+            let name = path.file_name().unwrap().to_str().unwrap();
+            BenchDoc::parse(name, &std::fs::read_to_string(path).unwrap()).unwrap()
+        })
+        .collect();
+    let page = graphex_report::render(&graphex_report::ReportInputs {
+        generated: "test".into(),
+        benches: docs.clone(),
+        ..Default::default()
+    });
+    for doc in &docs {
+        assert!(page.contains(&doc.file), "page missing {}", doc.file);
+    }
+    for forbidden in ["http://", "https://", "<script", "src=", "href=", "url("] {
+        assert!(!page.contains(forbidden), "page contains forbidden {forbidden:?}");
+    }
+}

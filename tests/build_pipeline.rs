@@ -95,6 +95,7 @@ fn churn_build_publish_serve_loopback_zero_5xx() {
             deadline: None, // the zero-5xx gate must not race a timer
             keep_alive_timeout: Duration::from_secs(5),
             trace: Default::default(),
+            history: Default::default(),
         },
         Arc::clone(&api),
     )

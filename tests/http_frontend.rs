@@ -53,6 +53,7 @@ impl Fixture {
                 deadline: None, // zero-5xx gate must not race a timer
                 keep_alive_timeout: Duration::from_secs(5),
                 trace: Default::default(),
+                history: Default::default(),
             },
             Arc::clone(&api),
         )

@@ -175,6 +175,7 @@ fn live_upserts_with_midrun_compaction_zero_5xx() {
             deadline: None, // the zero-5xx gate must not race a timer
             keep_alive_timeout: Duration::from_secs(5),
             trace: Default::default(),
+            history: Default::default(),
         },
         Arc::clone(&api),
     )

@@ -99,6 +99,7 @@ fn eight_tenants_cap_three_zero_5xx_through_evictions_and_hot_swaps() {
             deadline: None, // the zero-5xx gate must not race a timer
             keep_alive_timeout: Duration::from_secs(5),
             trace: Default::default(),
+            history: Default::default(),
         },
         Arc::clone(&fleet),
     )

@@ -460,6 +460,61 @@ fn fleet_traces_carry_tenant_attribution() {
 
 /// Gate 5: the off switch removes the whole trace surface.
 #[test]
+fn debug_traces_content_type_and_stage_filter() {
+    let ds = graphex_suite::tiny_dataset(0x51A);
+    let model = graphex_suite::tiny_model(&ds);
+    let api = Arc::new(ServingApi::new(Arc::new(model), Arc::new(KvStore::new()), 10));
+    let server = graphex_server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            deadline: None,
+            keep_alive_timeout: Duration::from_secs(60),
+            ..Default::default()
+        },
+        api,
+    )
+    .unwrap();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    for item in ds.marketplace.items.iter().take(3) {
+        let response =
+            client.post_json("/v1/infer", &infer_body(&item.title, item.leaf.0)).unwrap();
+        assert_eq!(response.status, 200, "{}", response.text());
+    }
+
+    // The debug surface is JSON and says so — report tooling and
+    // browsers both key off the header.
+    let response = client.get("/debug/traces").unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header("content-type"), Some("application/json"));
+    let all = graphex_server::json::parse(&response.text())
+        .unwrap()
+        .get("traces")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .len();
+    assert_eq!(all, 3);
+
+    // `?stage=` keeps only traces carrying a span of that stage. Every
+    // served infer runs the traversal stage; none runs fanout (that is
+    // a router-only stage); an unknown name filters everything rather
+    // than erroring.
+    assert_eq!(debug_traces(&mut client, "?stage=traversal").len(), 3);
+    for trace in debug_traces(&mut client, "?stage=traversal") {
+        let spans = trace.get("spans").unwrap().as_arr().unwrap();
+        assert!(
+            spans.iter().any(|s| s.get("stage").unwrap().as_str() == Some("traversal")),
+            "filtered trace lacks the requested stage: {trace:?}"
+        );
+    }
+    assert_eq!(debug_traces(&mut client, "?stage=fanout").len(), 0);
+    assert_eq!(debug_traces(&mut client, "?stage=no_such_stage").len(), 0);
+    // The filter composes with limit.
+    assert_eq!(debug_traces(&mut client, "?stage=traversal&limit=1").len(), 1);
+    server.shutdown();
+}
+
+#[test]
 fn disabled_tracing_exposes_no_surface() {
     let ds = graphex_suite::tiny_dataset(0x0FF);
     let model = graphex_suite::tiny_model(&ds);
